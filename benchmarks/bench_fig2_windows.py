@@ -1,0 +1,118 @@
+"""Fig 2 -- C3 windowed communication.
+
+Regenerates the figure's scenario as a measured experiment: two arrays
+split into windows under a mask (Fig 2 uses {2,2}), carried over NCP
+through an on-path kernel, reassembled at the receiver. Sweeps the mask
+geometry and reports the framing efficiency (header bytes vs payload
+bytes per window), plus codec throughput for pytest-benchmark.
+"""
+
+import pytest
+
+from repro.nclc import Compiler, WindowConfig
+from repro.ncp.window import Windower
+from repro.ncp.wire import ChunkLayout, KernelLayout, decode_frame, encode_frame
+from repro.runtime import Cluster
+
+from benchmarks._util import print_table, record_once
+
+PAIRWISE_NCL = r"""
+// Fig 2's on-path computation: combine two arrays element-wise on the
+// switch while they travel from Host-A to Host-B.
+_net_ _at_("s1") unsigned touched[1] = {0};
+
+_net_ _out_ void combine(int *h0, int *h1) {
+  touched[0] += 1;
+  for (unsigned i = 0; i < WLEN; ++i)
+    h0[i] = h0[i] + h1[i];
+}
+
+_net_ _in_ void recv(int *h0, int *h1, _ext_ int *out, _ext_ unsigned *n) {
+  for (unsigned i = 0; i < WLEN; ++i)
+    out[window.seq * WLEN + i] = h0[i];
+  n[0] += 1;
+}
+"""
+
+AND = """
+host hostA
+host hostB
+switch s1
+link hostA s1
+link s1 hostB
+"""
+
+
+def run_transfer(window_len: int, array_len: int = 64):
+    program = Compiler().compile(
+        PAIRWISE_NCL,
+        and_text=AND,
+        windows={"combine": WindowConfig(mask=(window_len, window_len))},
+        defines={"WLEN": window_len},
+    )
+    cluster = Cluster.from_program(program)
+    h0 = list(range(array_len))
+    h1 = [10_000 + i for i in range(array_len)]
+    out = [0] * array_len
+    count = [0]
+    cluster.host("hostB").register_in("recv", [out, count])
+    sent = cluster.host("hostA").out("combine", [h0, h1], dst="hostB")
+    cluster.run()
+    assert out == [a + b for a, b in zip(h0, h1)]
+    assert count[0] == sent
+    bytes_on_wire = cluster.network.total_bytes_on_links()
+    return sent, bytes_on_wire, cluster.now()
+
+
+def test_fig2_window_transfer_mask_sweep(benchmark):
+    rows = []
+    payload_per_elem = 8  # two int32 arrays
+
+    def sweep():
+        for wlen in (1, 2, 4, 8, 16):
+            windows, wire_bytes, elapsed = run_transfer(wlen)
+            payload = 64 * payload_per_elem
+            rows.append(
+                [
+                    f"{{{wlen},{wlen}}}",
+                    windows,
+                    wire_bytes,
+                    f"{payload / wire_bytes:.2f}",
+                    f"{elapsed * 1e6:.1f}",
+                ]
+            )
+
+    record_once(benchmark, sweep)
+    print_table(
+        "Fig 2: mask geometry vs framing efficiency (64+64 int32 transfer)",
+        ["mask", "windows", "wire bytes", "goodput frac", "time (us)"],
+        rows,
+    )
+    # Shape: larger windows amortize headers -> fewer wire bytes.
+    assert int(rows[0][2]) > int(rows[-1][2])
+
+
+def test_fig2_windower_roundtrip_throughput(benchmark):
+    windower = Windower((2, 2))
+    arrays = [list(range(4096)), list(range(4096))]
+
+    def split_and_reassemble():
+        windows = list(windower.split(arrays))
+        return windower.reassemble(windows, [4096, 4096])
+
+    rebuilt = benchmark(split_and_reassemble)
+    assert rebuilt == arrays
+
+
+def test_fig2_ncp_codec_throughput(benchmark):
+    layout = KernelLayout(
+        3, "xfer", [ChunkLayout("a", 8, 32, True), ChunkLayout("b", 8, 32, True)]
+    )
+    chunks = [list(range(8)), list(range(8, 16))]
+
+    def codec():
+        frame = encode_frame(layout, 0, 1, seq=4, chunks=chunks)
+        return decode_frame(frame, {3: layout})
+
+    decoded = benchmark(codec)
+    assert decoded.chunks == chunks

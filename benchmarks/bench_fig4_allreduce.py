@@ -1,0 +1,145 @@
+"""Fig 4 -- in-network AllReduce vs host-only baselines.
+
+The headline experiment: synchronous AllReduce on a star topology,
+in-network aggregation vs a parameter server vs ring all-reduce, sweeping
+the worker count and the array size. Expected *shape* (from SwitchML/ATP
+and bandwidth arithmetic; the paper has no numbers of its own):
+
+* INC sends each gradient over each worker link exactly twice (up +
+  broadcast) -- completion time roughly flat in n for fixed per-worker
+  data;
+* the parameter server funnels 2*n*size bytes through one link --
+  completion degrades linearly in n;
+* ring is bandwidth-optimal but needs 2(n-1) serialized steps -- it
+  loses to INC on latency, and the INC/ring gap widens with n.
+"""
+
+import pytest
+
+from repro.apps.allreduce import AllReduceJob
+from repro.apps.workloads import random_arrays
+from repro.baselines.host_allreduce import ParameterServerAllReduce, RingAllReduce
+
+from benchmarks._util import print_table, record_once
+
+WINDOW = 8
+
+
+def one_round(n_workers: int, data_len: int):
+    arrays = random_arrays(n_workers, data_len, seed=n_workers)
+    expected = AllReduceJob.expected(arrays)
+
+    inc = AllReduceJob(n_workers, data_len, WINDOW)
+    inc_res, inc_t = inc.run_round(arrays)
+    assert inc_res[0] == expected
+
+    ps = ParameterServerAllReduce(n_workers, data_len, WINDOW)
+    ps_res, ps_t = ps.run(arrays)
+    assert ps_res[0] == expected
+
+    ring_len = data_len
+    if ring_len % (n_workers * WINDOW):
+        ring_len = (data_len // (n_workers * WINDOW) + 1) * n_workers * WINDOW
+    ring = RingAllReduce(n_workers, ring_len, WINDOW)
+    ring_res, ring_t = ring.run(random_arrays(n_workers, ring_len, seed=n_workers))
+
+    return inc_t, ps_t, ring_t
+
+
+def test_fig4_worker_scaling(benchmark):
+    rows = []
+
+    def sweep():
+        for n in (2, 4, 8):
+            inc_t, ps_t, ring_t = one_round(n, 512)
+            rows.append(
+                [
+                    n,
+                    f"{inc_t * 1e6:.1f}",
+                    f"{ps_t * 1e6:.1f}",
+                    f"{ring_t * 1e6:.1f}",
+                    f"{ps_t / inc_t:.2f}x",
+                    f"{ring_t / inc_t:.2f}x",
+                ]
+            )
+
+    record_once(benchmark, sweep)
+    print_table(
+        "Fig 4: AllReduce completion time vs workers (512 int32)",
+        ["workers", "INC us", "PS us", "ring us", "INC vs PS", "INC vs ring"],
+        rows,
+    )
+    # Shape assertions: INC wins everywhere; the PS gap grows with n.
+    gaps = [float(r[4][:-1]) for r in rows]
+    assert all(g > 1.0 for g in gaps)
+    assert gaps[-1] > gaps[0]
+
+
+def test_fig4_data_scaling(benchmark):
+    rows = []
+
+    def sweep():
+        for data_len in (128, 512, 2048):
+            inc_t, ps_t, ring_t = one_round(4, data_len)
+            rows.append(
+                [
+                    data_len,
+                    f"{inc_t * 1e6:.1f}",
+                    f"{ps_t * 1e6:.1f}",
+                    f"{ring_t * 1e6:.1f}",
+                ]
+            )
+
+    record_once(benchmark, sweep)
+    print_table(
+        "Fig 4: AllReduce completion time vs gradient size (4 workers)",
+        ["int32 elems", "INC us", "PS us", "ring us"],
+        rows,
+    )
+
+
+def test_fig4_link_bytes_accounting(benchmark):
+    """INC's bandwidth win, measured at the links rather than the clock."""
+    rows = []
+
+    def sweep():
+        for n in (2, 4, 8):
+            data_len = 512
+            arrays = random_arrays(n, data_len, seed=1)
+            inc = AllReduceJob(n, data_len, WINDOW)
+            inc.run_round(arrays)
+            inc_bytes = inc.cluster.network.total_bytes_on_links()
+
+            ps = ParameterServerAllReduce(n, data_len, WINDOW)
+            ps.run(arrays)
+            ps_bytes = ps.net.total_bytes_on_links()
+            ps_bottleneck = max(l.stats.bytes for l in ps.net.links)
+            inc_bottleneck = max(l.stats.bytes for l in inc.cluster.network.links)
+            rows.append(
+                [n, inc_bytes, ps_bytes, inc_bottleneck, ps_bottleneck]
+            )
+
+    record_once(benchmark, sweep)
+    print_table(
+        "Fig 4: bytes on the wire (512 int32)",
+        ["workers", "INC total", "PS total", "INC max/link", "PS max/link"],
+        rows,
+    )
+    # The PS bottleneck link grows ~linearly with n; INC's per-link load
+    # stays flat.
+    assert rows[-1][4] > rows[0][4] * 2
+    assert rows[-1][3] <= rows[0][3] * 2
+
+
+def test_fig4_single_round_latency(benchmark):
+    """pytest-benchmark micro view: one INC round, wall-clock (simulator
+    execution cost, not simulated time)."""
+    job = AllReduceJob(4, 256, WINDOW)
+    arrays = random_arrays(4, 256, seed=3)
+
+    def run():
+        results, _ = job.run_round(arrays)
+        return results
+
+    results = benchmark(run)
+    assert results[0] == AllReduceJob.expected(arrays)

@@ -1,0 +1,165 @@
+"""Fig 6 -- the nclc compilation trajectory.
+
+Regenerates the figure as measurements: per-stage timing through the
+dual pipeline (frontend, IR gen, conformance, versioning, device-side
+optimization, codegen + backend), the optimization work each pass did,
+code expansion (NCL source -> generated P4), and the backend's
+accept/reject behaviour across chip profiles.
+"""
+
+import pytest
+
+from repro.apps.allreduce import ALLREDUCE_MULTIROUND_NCL, ALLREDUCE_NCL, star_and
+from repro.apps.kvs_cache import KVS_NCL, kvs_and
+from repro.errors import BackendRejection, ConformanceError
+from repro.nclc import Compiler, WindowConfig
+
+from benchmarks._util import loc, print_table, record_once
+
+
+def compile_allreduce(profile=None, window=4, split_arrays="auto"):
+    return Compiler(profile=profile, split_arrays=split_arrays).compile(
+        ALLREDUCE_NCL,
+        and_text=star_and(2),
+        windows={"allreduce": WindowConfig(mask=(window,), ext={"len": window})},
+        defines={"DATA_LEN": 64 * window // 4, "WIN_LEN": window},
+    )
+
+
+def compile_kvs(profile=None):
+    return Compiler(profile=profile).compile(
+        KVS_NCL,
+        and_text=kvs_and(2),
+        windows={"query": WindowConfig(mask=(1, 8, 1))},
+        defines={"CACHE_SIZE": 128, "VAL_WORDS": 8, "SERVER": 2},
+    )
+
+
+def test_fig6_stage_times(benchmark):
+    program = benchmark(compile_allreduce)
+    rows = [
+        [stage, f"{seconds * 1e3:.2f}"]
+        for stage, seconds in program.stage_times.items()
+    ]
+    print_table("Fig 6: nclc stage times (AllReduce)", ["stage", "ms"], rows)
+    assert set(program.stage_times) >= {
+        "frontend",
+        "irgen",
+        "conformance",
+        "versioning",
+        "switch-opt",
+        "codegen+backend",
+    }
+
+
+def test_fig6_pass_statistics(benchmark):
+    program = record_once(benchmark, compile_kvs)
+    # host pipeline runs first (SSA etc.); the per-switch pipeline then
+    # specializes/unrolls the already-SSA kernels.
+    merged = dict(program.stats["host"].counters)
+    for name, count in program.stats["s1"].counters.items():
+        merged[name] = merged.get(name, 0) + count
+    rows = sorted(merged.items())
+    print_table("Fig 6: optimization pass work (KVS kernel)", ["pass", "changes"], rows)
+    assert merged.get("mem2reg", 0) > 0
+    assert merged.get("gvn", 0) > 0  # the three Idx[key] lookups collapse
+
+
+def test_fig6_code_expansion(benchmark):
+    rows = []
+
+    def sweep():
+        for name, program, source in (
+            ("allreduce", compile_allreduce(), ALLREDUCE_NCL),
+            ("kvs", compile_kvs(), KVS_NCL),
+        ):
+            p4 = program.switch_sources["s1"]
+            report = program.reports["s1"]
+            rows.append(
+                [
+                    name,
+                    loc(source),
+                    loc(p4),
+                    f"{loc(p4) / loc(source):.1f}x",
+                    report.stages,
+                    report.phv_bits,
+                ]
+            )
+
+    record_once(benchmark, sweep)
+    print_table(
+        "Fig 6: NCL source vs generated P4",
+        ["program", "NCL LoC", "P4 LoC", "expansion", "stages", "PHV bits"],
+        rows,
+    )
+    assert all(float(r[3][:-1]) > 3 for r in rows)
+
+
+def test_fig6_backend_accept_reject(benchmark):
+    """The trajectory's final arrow: the same program is accepted by the
+    software profile and rejected (with feedback) by the hardware one."""
+    rows = []
+
+    def sweep():
+        for window, profile, split in (
+            (4, "bmv2", "auto"),
+            (4, "tofino-like", False),   # no arch transform: rejected
+            (4, "tofino-like", "auto"),  # register splitting: accepted
+        ):
+            try:
+                program = compile_allreduce(
+                    profile=profile, window=window, split_arrays=split
+                )
+                verdict = "accept"
+                splits = program.split_info.get("s1", [])
+                detail = f"{program.reports['s1'].stages} stages" + (
+                    f", split {[s.name for s in splits]}" if splits else ""
+                )
+            except BackendRejection as exc:
+                verdict = "reject"
+                detail = exc.reasons[0][:60]
+            rows.append([f"win={window} split={split}", profile, verdict, detail])
+
+    record_once(benchmark, sweep)
+    print_table(
+        "Fig 6: backend accept/reject by profile",
+        ["config", "profile", "verdict", "detail"],
+        rows,
+    )
+    assert rows[0][2] == "accept"
+    assert rows[1][2] == "reject"
+    assert rows[2][2] == "accept"
+
+
+def test_fig6_conformance_rejections(benchmark):
+    """Stage 1 in action: programs the data plane cannot express are
+    rejected before any code is generated."""
+    cases = [
+        (
+            "data-dependent loop",
+            "_net_ _out_ void k(unsigned *d) {"
+            " for (unsigned i = 0; i < d[0]; ++i) d[1] += 1; }",
+        ),
+        (
+            "recursion",
+            "int f(int x) { return f(x - 1); }\n"
+            "_net_ _out_ void k(int *d) { d[0] = f(d[0]); }",
+        ),
+        (
+            "dynamic division",
+            "_net_ _out_ void k(int *d) { d[0] = d[0] / d[1]; }",
+        ),
+    ]
+    rows = []
+
+    def sweep():
+        for name, source in cases:
+            try:
+                Compiler().compile(source, windows={"k": WindowConfig(mask=(4,))})
+                rows.append([name, "ACCEPTED (bug!)"])
+            except ConformanceError as exc:
+                rows.append([name, str(exc)[:70]])
+
+    record_once(benchmark, sweep)
+    print_table("Fig 6: conformance-stage rejections", ["program", "diagnostic"], rows)
+    assert all("bug" not in r[1] for r in rows)

@@ -1,0 +1,88 @@
+"""S2 motivation, quantified -- "Complex programming semantics" and
+"Tedious network plumbing".
+
+Counts what a programmer must write and maintain for the same
+application, three ways:
+
+* the NCL kernel (compute only -- no parser, no tables, no plumbing);
+* the generated P4 (what the compiler writes *for* them);
+* the hand-written P4 baseline (what they write today, Fig 1b style).
+
+Also counts the networking *constructs* (parser states, tables, actions,
+metadata fields) the NCL programmer never sees.
+"""
+
+import pytest
+
+from repro.apps.allreduce import ALLREDUCE_NCL, star_and
+from repro.apps.kvs_cache import KVS_NCL, kvs_and
+from repro.baselines.p4_netcache import build_netcache_program, handwritten_p4_source
+from repro.nclc import Compiler, WindowConfig
+
+from benchmarks._util import loc, print_table, record_once
+
+
+def test_motivation_loc_and_constructs(benchmark):
+    rows = []
+
+    def sweep():
+        kvs = Compiler().compile(
+            KVS_NCL,
+            and_text=kvs_and(1),
+            windows={"query": WindowConfig(mask=(1, 8, 1))},
+            defines={"CACHE_SIZE": 256, "VAL_WORDS": 8, "SERVER": 1},
+        )
+        gen = kvs.switch_programs["s1"]
+        hand = build_netcache_program(256, 8)
+        rows.append(
+            ["NCL (Fig 5)", loc(KVS_NCL), 0, 0, 0, "compiler"]
+        )
+        rows.append(
+            [
+                "generated P4",
+                loc(kvs.switch_sources["s1"]),
+                len(gen.parser),
+                len(gen.tables),
+                len(gen.actions),
+                "compiler",
+            ]
+        )
+        rows.append(
+            [
+                "hand P4 (Fig 1b)",
+                loc(handwritten_p4_source(256, 8)),
+                len(hand.parser),
+                len(hand.tables),
+                len(hand.actions),
+                "programmer",
+            ]
+        )
+
+    record_once(benchmark, sweep)
+    print_table(
+        "S2: programmer-visible artifact for the KVS cache",
+        ["artifact", "LoC", "parser states", "tables", "actions", "maintained by"],
+        rows,
+    )
+    ncl_loc = rows[0][1]
+    hand_loc = rows[2][1]
+    assert hand_loc > 10 * ncl_loc
+
+
+def test_motivation_allreduce_loc(benchmark):
+    def compile_it():
+        return Compiler().compile(
+            ALLREDUCE_NCL,
+            and_text=star_and(4),
+            windows={"allreduce": WindowConfig(mask=(8,), ext={"len": 8})},
+            defines={"DATA_LEN": 512, "WIN_LEN": 8},
+        )
+
+    program = record_once(benchmark, compile_it)
+    gen_loc = loc(program.switch_sources["s1"])
+    src_loc = loc(ALLREDUCE_NCL)
+    print(
+        f"\nAllReduce: {src_loc} NCL lines -> {gen_loc} generated P4 lines "
+        f"({gen_loc / src_loc:.1f}x written by the compiler)"
+    )
+    assert gen_loc > 3 * src_loc

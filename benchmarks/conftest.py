@@ -1,0 +1,8 @@
+"""Make `benchmarks._util` importable and collect bench_*.py files."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+collect_ignore_glob = []

@@ -1,0 +1,54 @@
+"""repro -- a full reproduction of "Don't You Worry 'Bout a Packet:
+Unified Programming for In-Network Computing" (HotNets '21).
+
+The package implements the paper's entire envisioned stack:
+
+* :mod:`repro.ncl` -- the Net Compute Language frontend (C-subset lexer,
+  parser, semantic analysis, the ``_net_``/``_out_``/``_in_``/``_ctrl_``/
+  ``_at_``/``_ext_`` declaration specifiers, window/location structs,
+  ``ncl::Map``/``ncl::BloomFilter``);
+* :mod:`repro.nir` -- a typed SSA intermediate representation with the
+  optimization passes named in the paper (const folding/propagation,
+  GVN/CSE, DCE, loop unrolling);
+* :mod:`repro.nclc` -- the dual-pipeline compiler driver: conformance
+  checking, IR versioning over the AND, PISA lowering, P4 code
+  generation and backend feedback;
+* :mod:`repro.p4` + :mod:`repro.pisa` -- a P4-like target program model
+  and a software PISA pipeline (parser / match-action stages / registers
+  / deparser) that executes it, bmv2-style;
+* :mod:`repro.ncp` -- the Net Compute Protocol: window-based transport
+  framing over pluggable backends;
+* :mod:`repro.runtime` -- libncrt: the host-side runtime (``out``/
+  ``in_``/``ctrl_wr``), transparent windowing and plumbing;
+* :mod:`repro.andspec` -- the Abstract Network Description and its
+  overlay-to-physical mapping;
+* :mod:`repro.net` -- a discrete-event network simulator (hosts, links,
+  switches) standing in for the paper's testbed;
+* :mod:`repro.apps` / :mod:`repro.baselines` -- the paper's use cases
+  (AllReduce, KVS cache) and hand-written P4-style / host-only baselines.
+
+Quickstart::
+
+    from repro import compile_ncl, Cluster
+
+    program = compile_ncl(NCL_SOURCE, and_text=AND_SPEC)
+    cluster = Cluster.from_program(program)
+    ...
+"""
+
+from repro.errors import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = ["ReproError", "compile_ncl", "__version__"]
+
+
+def compile_ncl(source, and_text=None, defines=None, profile=None, filename="<ncl>"):
+    """Compile an NCL program (convenience wrapper around
+    :class:`repro.nclc.driver.Compiler`). Returns a
+    :class:`repro.nclc.driver.CompiledProgram`."""
+    from repro.nclc.driver import Compiler
+
+    return Compiler(profile=profile).compile(
+        source, and_text=and_text, defines=defines, filename=filename
+    )

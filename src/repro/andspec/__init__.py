@@ -1,0 +1,13 @@
+"""Abstract Network Description: overlay model, parser, physical mapping."""
+
+from repro.andspec.mapping import Mapping, PhysicalNet, map_overlay
+from repro.andspec.model import AndNode, AndSpec, parse_and
+
+__all__ = [
+    "AndNode",
+    "AndSpec",
+    "Mapping",
+    "PhysicalNet",
+    "map_overlay",
+    "parse_and",
+]

@@ -1,0 +1,190 @@
+"""The Abstract Network Description (AND).
+
+The AND (paper S3.2) is a declarative overlay of the *functional
+components* of an INC application: hosts and switches with label names,
+and the logical connectivity between them. Kernels and switch memory are
+pinned to AND labels via ``_at_("label")``; the runtime and the mapper
+use the AND to place components onto physical devices.
+
+Text format (one declaration per line, ``#`` comments)::
+
+    host   worker0
+    host   worker1
+    switch s1
+    link   worker0 s1
+    link   worker1 s1
+
+Node ids are assigned in declaration order and are the values the
+``location`` struct and ``window.from`` expose in kernel code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import AndError
+
+
+class AndNode:
+    """One overlay node: a host or a switch, identified by its label."""
+
+    __slots__ = ("label", "kind", "node_id")
+
+    def __init__(self, label: str, kind: str, node_id: int):
+        if kind not in ("host", "switch"):
+            raise AndError(f"unknown AND node kind {kind!r}")
+        self.label = label
+        self.kind = kind
+        self.node_id = node_id
+
+    @property
+    def is_switch(self) -> bool:
+        return self.kind == "switch"
+
+    @property
+    def is_host(self) -> bool:
+        return self.kind == "host"
+
+    def __repr__(self) -> str:
+        return f"AndNode({self.kind} {self.label}#{self.node_id})"
+
+
+class AndSpec:
+    """A parsed and validated AND."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, AndNode] = {}
+        self.edges: List[Tuple[str, str]] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, label: str, kind: str) -> AndNode:
+        if label in self.nodes:
+            raise AndError(f"duplicate AND node {label!r}")
+        node = AndNode(label, kind, len(self.nodes))
+        self.nodes[label] = node
+        return node
+
+    def add_host(self, label: str) -> AndNode:
+        return self.add_node(label, "host")
+
+    def add_switch(self, label: str) -> AndNode:
+        return self.add_node(label, "switch")
+
+    def add_link(self, a: str, b: str) -> None:
+        for label in (a, b):
+            if label not in self.nodes:
+                raise AndError(f"link references unknown node {label!r}")
+        if a == b:
+            raise AndError(f"self-link on {a!r}")
+        key = (a, b) if a <= b else (b, a)
+        if key in self._edge_set():
+            raise AndError(f"duplicate link {a!r} -- {b!r}")
+        self.edges.append(key)
+
+    def _edge_set(self) -> Set[Tuple[str, str]]:
+        return set(self.edges)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def hosts(self) -> List[AndNode]:
+        return [n for n in self.nodes.values() if n.is_host]
+
+    @property
+    def switches(self) -> List[AndNode]:
+        return [n for n in self.nodes.values() if n.is_switch]
+
+    def node(self, label: str) -> AndNode:
+        if label not in self.nodes:
+            raise AndError(f"unknown AND node {label!r}")
+        return self.nodes[label]
+
+    def label_ids(self) -> Dict[str, int]:
+        """Label -> node id map used to resolve ``_locid`` and ``_at_``."""
+        return {label: node.node_id for label, node in self.nodes.items()}
+
+    def neighbors(self, label: str) -> List[str]:
+        self.node(label)
+        out = []
+        for a, b in self.edges:
+            if a == label:
+                out.append(b)
+            elif b == label:
+                out.append(a)
+        return out
+
+    def validate(self, required_labels: Iterable[str] = ()) -> None:
+        """Check structural sanity and that all ``_at_`` labels exist."""
+        if not self.nodes:
+            raise AndError("empty AND: no nodes declared")
+        for label in required_labels:
+            if label not in self.nodes:
+                raise AndError(
+                    f'_at_("{label}") does not name a node in the AND'
+                )
+            if not self.nodes[label].is_switch:
+                raise AndError(
+                    f'_at_("{label}") must name a switch, but {label!r} is a host'
+                )
+        if self.hosts and not self._connected():
+            raise AndError("AND overlay is not connected")
+
+    def _connected(self) -> bool:
+        labels = list(self.nodes)
+        if len(labels) <= 1:
+            return True
+        adjacency: Dict[str, List[str]] = {l: [] for l in labels}
+        for a, b in self.edges:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        seen = {labels[0]}
+        stack = [labels[0]]
+        while stack:
+            for nxt in adjacency[stack.pop()]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return len(seen) == len(labels)
+
+    def render(self) -> str:
+        lines = [f"{node.kind:6s} {node.label}" for node in self.nodes.values()]
+        lines += [f"link   {a} {b}" for a, b in self.edges]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"AndSpec({len(self.hosts)} hosts, {len(self.switches)} switches, "
+            f"{len(self.edges)} links)"
+        )
+
+
+def parse_and(text: str) -> AndSpec:
+    """Parse the AND text format."""
+    spec = AndSpec()
+    pending_links: List[Tuple[str, str, int]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        kind = parts[0].lower()
+        try:
+            if kind in ("host", "switch"):
+                if len(parts) != 2:
+                    raise AndError(f"line {lineno}: expected '{kind} <label>'")
+                spec.add_node(parts[1], kind)
+            elif kind == "link":
+                if len(parts) != 3:
+                    raise AndError(f"line {lineno}: expected 'link <a> <b>'")
+                pending_links.append((parts[1], parts[2], lineno))
+            else:
+                raise AndError(f"line {lineno}: unknown declaration {kind!r}")
+        except AndError:
+            raise
+    for a, b, lineno in pending_links:
+        try:
+            spec.add_link(a, b)
+        except AndError as exc:
+            raise AndError(f"line {lineno}: {exc}") from None
+    return spec

@@ -1,0 +1,17 @@
+"""The paper's use cases as runnable applications."""
+
+from repro.apps.allreduce import ALLREDUCE_NCL, AllReduceJob
+from repro.apps.dedup import DEDUP_NCL, DedupCluster
+from repro.apps.kvs_cache import KVS_NCL, KvsCluster
+from repro.apps.telemetry import TELEMETRY_NCL, TelemetryCluster
+
+__all__ = [
+    "ALLREDUCE_NCL",
+    "AllReduceJob",
+    "DEDUP_NCL",
+    "DedupCluster",
+    "KVS_NCL",
+    "KvsCluster",
+    "TELEMETRY_NCL",
+    "TelemetryCluster",
+]

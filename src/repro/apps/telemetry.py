@@ -1,0 +1,107 @@
+"""In-network flow telemetry across a multi-switch path.
+
+The fourth application exercises the paper features the ToR-only use
+cases don't: a **location-less (SPMD) kernel** deployed on *every*
+switch of a two-hop path, diverging by ``location.id`` (paper S4.1:
+"location-less kernels run on all switches in SPMD fashion ... a builtin
+location struct provides information about the current location such
+that divergent behavior can still be expressed"), per-switch **local**
+state (S4.1: modifications to location-less switch memory are local; NCL
+makes no consistency guarantees), and a ``_ctrl_`` variable pinned to
+one hop.
+
+Pipeline: senders -> s1 (ingress) -> s2 (egress) -> collector.
+
+* both switches count windows per flow slot in their own ``counts``;
+* s1 stamps its count into the window (telemetry field 0);
+* s2 stamps its count (field 1) and raises a heavy-hitter mark
+  (field 2) when the ingress-stamped count exceeds the host-controlled
+  threshold;
+* the collector's incoming kernel tallies heavy-hitter marks per flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nclc import Compiler, WindowConfig
+from repro.runtime import Cluster
+
+TELEMETRY_NCL = r"""
+// Per-flow counting + heavy-hitter marking on a two-switch path.
+_net_ unsigned counts[SLOTS] = {0};             // per-switch local state
+_net_ _at_("s2") _ctrl_ unsigned hh_threshold;
+
+_net_ _out_ void monitor(unsigned flowkey, unsigned *stamp) {
+  unsigned slot = flowkey & (SLOTS - 1);
+  counts[slot] += 1;
+  if (location.id == _locid("s1")) {
+    stamp[0] = counts[slot];                    // ingress count
+  } else {
+    stamp[1] = counts[slot];                    // egress count
+    if (stamp[0] > hh_threshold) stamp[2] = 1;  // heavy hitter
+  }
+}
+
+_net_ _in_ void collect(unsigned flowkey, unsigned *stamp,
+                        _ext_ unsigned *hh_hits, _ext_ unsigned *seen) {
+  unsigned slot = flowkey & (SLOTS - 1);
+  if (stamp[2]) hh_hits[slot] += 1;
+  seen[slot] += 1;
+}
+"""
+
+
+def telemetry_and(n_senders: int = 2) -> str:
+    lines = [f"host src{i}" for i in range(n_senders)]
+    lines += ["host collector", "switch s1", "switch s2"]
+    lines += [f"link src{i} s1" for i in range(n_senders)]
+    lines += ["link s1 s2", "link s2 collector"]
+    return "\n".join(lines)
+
+
+class TelemetryCluster:
+    def __init__(
+        self,
+        n_senders: int = 2,
+        slots: int = 64,
+        hh_threshold: int = 10,
+        profile: Optional[str] = None,
+    ):
+        self.slots = slots
+        self.program = Compiler(profile=profile).compile(
+            TELEMETRY_NCL,
+            and_text=telemetry_and(n_senders),
+            windows={"monitor": WindowConfig(mask=(1, 3))},
+            defines={"SLOTS": slots},
+        )
+        self.cluster = Cluster.from_program(self.program)
+        self.cluster.controller.ctrl_wr("hh_threshold", hh_threshold)
+        self.senders = [self.cluster.host(f"src{i}") for i in range(n_senders)]
+        self.collector = self.cluster.host("collector")
+        self.hh_hits = [0] * slots
+        self.seen = [0] * slots
+        self.collector.register_in("collect", [self.hh_hits, self.seen])
+        self._seq = [0] * n_senders
+
+    def send_flows(self, sender: int, flow_keys: Sequence[int]) -> None:
+        for key in flow_keys:
+            seq = self._seq[sender]
+            self._seq[sender] = (seq + 1) & 0xFFFFFFFF
+            self.senders[sender].out_window(
+                "monitor", seq=seq, chunks=[[key], [0, 0, 0]], dst="collector"
+            )
+        self.cluster.run()
+
+    # -- inspection --------------------------------------------------------
+
+    def switch_counts(self, label: str) -> List[int]:
+        return self.cluster.controller.register_dump("counts", label=label)
+
+    def heavy_hitters(self, min_marks: int = 1) -> List[int]:
+        return [
+            slot for slot, hits in enumerate(self.hh_hits) if hits >= min_marks
+        ]
+
+    def total_seen(self) -> int:
+        return sum(self.seen)

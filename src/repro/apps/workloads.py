@@ -1,0 +1,47 @@
+"""Workload generators shared by the examples and the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def zipf_keys(n_ops: int, n_keys: int, skew: float, seed: int = 0) -> List[int]:
+    """Sample *n_ops* keys from [0, n_keys) under a Zipf(skew) popularity
+    distribution (rank 1 = key 0). ``skew=0`` degenerates to uniform.
+
+    KVS caches (NetCache S2) are motivated exactly by such skew: a small
+    set of hot keys dominates, so caching O(cache_size) keys absorbs a
+    large fraction of the load.
+    """
+    rng = np.random.default_rng(seed)
+    if n_keys <= 0:
+        raise ValueError("n_keys must be positive")
+    if skew <= 0:
+        return list(map(int, rng.integers(0, n_keys, n_ops)))
+    ranks = np.arange(1, n_keys + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    return list(map(int, rng.choice(n_keys, size=n_ops, p=weights)))
+
+
+def hot_fraction(keys: Sequence[int], hot_set: Sequence[int]) -> float:
+    """Fraction of accesses that land in *hot_set*."""
+    if not keys:
+        return 0.0
+    hot = set(hot_set)
+    return sum(1 for k in keys if k in hot) / len(keys)
+
+
+def random_arrays(
+    n_arrays: int, length: int, lo: int = -1000, hi: int = 1000, seed: int = 0
+) -> List[List[int]]:
+    """Random int32 worker arrays for AllReduce-style workloads."""
+    rng = np.random.default_rng(seed)
+    return [list(map(int, rng.integers(lo, hi, length))) for _ in range(n_arrays)]
+
+
+def value_words(key: int, n_words: int) -> List[int]:
+    """Deterministic value blob for a key (checkable at the client)."""
+    return [((key * 2654435761 + i * 40503) & 0xFFFFFFFF) for i in range(n_words)]

@@ -1,0 +1,261 @@
+"""Hand-written P4 NetCache (the paper's Fig 1b), built directly against
+the P4 program model -- no NCL, no compiler.
+
+This is the baseline the paper's motivation section argues against:
+the programmer manually writes the parser for the full header stack,
+the match-action tables, one register array *per value word* with an
+explicit ``Read0.apply(); Read1.apply(); ...`` chain, metadata plumbing
+for the hit flag and index, and the IPv4 forwarding behaviour. Compare
+``handwritten_p4_source()`` against ``repro.apps.kvs_cache.KVS_NCL`` for
+the code-size/construct-count motivation benchmarks.
+
+It speaks the same NCP ``query`` wire format as the NCL-compiled cache
+(key, value words, update flag), so the two are benchmarked head-to-head
+on identical workloads. Scope matches Fig 1b: the GET fast path (plus
+the minimum PUT-invalidate/update machinery needed to run a workload).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ncp.wire import (
+    ETH_FIELDS,
+    ETHERTYPE_IPV4,
+    IP_PROTO_UDP,
+    IPV4_FIELDS,
+    NCP_FIELDS,
+    NCP_PORT,
+    UDP_FIELDS,
+)
+from repro.p4.model import (
+    Action,
+    Apply,
+    Do,
+    FWD_DROP,
+    FWD_PASS,
+    FWD_REFLECT,
+    HeaderType,
+    IfNode,
+    META_FWD,
+    P4Program,
+    ParseState,
+    PAssign,
+    PBin,
+    PConst,
+    PField,
+    PParam,
+    PRegRead,
+    PRegWrite,
+    RegisterArray,
+    Table,
+)
+from repro.p4.printer import print_program
+
+
+def build_netcache_program(
+    cache_size: int = 256,
+    val_words: int = 8,
+    server_id: int = 1,
+    kernel_id: int = 1,
+) -> P4Program:
+    """Hand-written NetCache-style cache as a P4 program object."""
+    p = P4Program("netcache_hand")
+    p.add_metadata("egress_port", 16)
+    p.add_metadata("hit", 8)
+    p.add_metadata("idx", 16)
+    p.add_metadata("valid", 8)
+    p.add_metadata("is_get", 8)
+    p.add_metadata("from_server", 8)
+    p.add_metadata("swap_tmp", 48)
+
+    p.add_header(HeaderType("ethernet_t", ETH_FIELDS), "eth")
+    p.add_header(HeaderType("ipv4_t", IPV4_FIELDS), "ipv4")
+    p.add_header(HeaderType("udp_t", UDP_FIELDS), "udp")
+    p.add_header(HeaderType("ncp_t", NCP_FIELDS), "ncp")
+    kv_fields = [("key", 64)]
+    kv_fields += [(f"v{i}", 32) for i in range(val_words)]
+    kv_fields += [("update", 8)]
+    p.add_header(HeaderType("kv_t", kv_fields), "kv")
+    p.deparser = ["eth", "ipv4", "udp", "ncp", "kv"]
+
+    p.parser = [
+        ParseState("start", ["eth"], "eth.ethertype", [(ETHERTYPE_IPV4, "parse_ipv4")]),
+        ParseState("parse_ipv4", ["ipv4"], "ipv4.proto", [(IP_PROTO_UDP, "parse_udp")]),
+        ParseState("parse_udp", ["udp"], "udp.dport", [(NCP_PORT, "parse_ncp")]),
+        ParseState("parse_ncp", ["ncp"], "ncp.kernel_id", [(kernel_id, "parse_kv")]),
+        ParseState("parse_kv", ["kv"]),
+    ]
+
+    # Registers: Valid, and one array per value word (Fig 1b's Read0/Read1
+    # pattern; each array is then touched once per packet).
+    p.add_register(RegisterArray("Valid", 8, cache_size))
+    for i in range(val_words):
+        p.add_register(RegisterArray(f"Val{i}", 32, cache_size))
+
+    # -- actions -------------------------------------------------------------
+    p.add_action(
+        Action(
+            "CacheHit",
+            [
+                PAssign("meta.hit", PConst(1, 8)),
+                PAssign("meta.idx", PParam("idx", 16)),
+            ],
+            params=[("idx", 16)],
+        )
+    )
+    p.add_action(Action("CacheMiss", [PAssign("meta.hit", PConst(0, 8))]))
+    p.add_action(
+        Action("ReadValid", [PRegRead("meta.valid", "Valid", PField("meta.idx"))])
+    )
+    p.add_action(
+        Action("SetValid", [PRegWrite("Valid", PField("meta.idx"), PConst(1, 8))])
+    )
+    p.add_action(
+        Action("ClearValid", [PRegWrite("Valid", PField("meta.idx"), PConst(0, 8))])
+    )
+    for i in range(val_words):
+        p.add_action(
+            Action(f"Read{i}", [PRegRead(f"kv.v{i}", f"Val{i}", PField("meta.idx"))])
+        )
+        p.add_action(
+            Action(
+                f"Write{i}",
+                [PRegWrite(f"Val{i}", PField("meta.idx"), PField(f"kv.v{i}"))],
+            )
+        )
+    p.add_action(
+        Action(
+            "classify",
+            [
+                PAssign(
+                    "meta.is_get",
+                    PBin("eq", PField("kv.update"), PConst(0, 8), 8),
+                ),
+                PAssign(
+                    "meta.from_server",
+                    PBin("eq", PField("ncp.from_node"), PConst(server_id, 16), 16),
+                ),
+            ],
+        )
+    )
+    p.add_action(Action("reflect", [PAssign(META_FWD, PConst(FWD_REFLECT, 8))]))
+    p.add_action(Action("drop_pkt", [PAssign(META_FWD, PConst(FWD_DROP, 8))]))
+    p.add_action(
+        Action(
+            "reflect_rewrite",
+            [
+                PAssign("meta.swap_tmp", PField("ipv4.src")),
+                PAssign("ipv4.src", PField("ipv4.dst")),
+                PAssign("ipv4.dst", PField("meta.swap_tmp")),
+                PAssign("meta.swap_tmp", PField("eth.src")),
+                PAssign("eth.src", PField("eth.dst")),
+                PAssign("eth.dst", PField("meta.swap_tmp")),
+            ],
+        )
+    )
+    p.add_action(
+        Action(
+            "ipv4_forward",
+            [PAssign("meta.egress_port", PParam("port", 16))],
+            params=[("port", 16)],
+        )
+    )
+    p.add_action(Action("ipv4_miss", [PAssign(META_FWD, PConst(FWD_DROP, 8))]))
+
+    # -- tables ---------------------------------------------------------------
+    p.add_table(
+        Table(
+            "CacheLookup",
+            keys=[("kv.key", "exact")],
+            actions=["CacheHit"],
+            default_action="CacheMiss",
+            managed_by="control-plane",
+            size=cache_size,
+        )
+    )
+    p.add_table(
+        Table(
+            "CacheValid",
+            keys=[],
+            actions=["ReadValid"],
+            default_action="ReadValid",
+        )
+    )
+    p.add_table(
+        Table(
+            "ipv4_route",
+            keys=[("ipv4.dst", "exact")],
+            actions=["ipv4_forward"],
+            default_action="ipv4_miss",
+            managed_by="control-plane",
+            size=1024,
+        )
+    )
+
+    # -- control: the Fig 1b flow, extended with PUT/update handling ---------------
+    get_hit_path = [Apply("CacheValid")] + [
+        IfNode(
+            PField("meta.valid"),
+            [Do(f"Read{i}") for i in range(val_words)] + [Do("reflect")],
+        )
+    ]
+    client_put = [IfNode(PField("meta.hit"), [Do("ClearValid")])]
+    server_update = [
+        IfNode(
+            PField("meta.hit"),
+            [Do(f"Write{i}") for i in range(val_words)] + [Do("SetValid")],
+        ),
+        Do("drop_pkt"),
+    ]
+
+    p.control = [
+        IfNode(
+            PField("valid.kv"),
+            [
+                Do("classify"),
+                Apply("CacheLookup"),
+                IfNode(
+                    PBin(
+                        "and",
+                        PBin("eq", PField("meta.from_server"), PConst(0, 8), 8),
+                        PBin("eq", PField("meta.is_get"), PConst(0, 8), 8),
+                        8,
+                    ),
+                    client_put,
+                    [
+                        IfNode(
+                            PBin("eq", PField("meta.from_server"), PConst(0, 8), 8),
+                            [IfNode(PField("meta.hit"), get_hit_path)],
+                            [
+                                IfNode(
+                                    PBin(
+                                        "eq",
+                                        PField("meta.is_get"),
+                                        PConst(0, 8),
+                                        8,
+                                    ),
+                                    server_update,
+                                )
+                            ],
+                        )
+                    ],
+                ),
+            ],
+        ),
+        IfNode(
+            PBin("eq", PField(META_FWD), PConst(FWD_PASS, 8), 8),
+            [Apply("ipv4_route")],
+        ),
+        IfNode(
+            PBin("eq", PField(META_FWD), PConst(FWD_REFLECT, 8), 8),
+            [Do("reflect_rewrite")],
+        ),
+    ]
+    p.validate()
+    return p
+
+
+def handwritten_p4_source(cache_size: int = 256, val_words: int = 8) -> str:
+    """The P4 text a programmer would maintain for this baseline."""
+    return print_program(build_netcache_program(cache_size, val_words))

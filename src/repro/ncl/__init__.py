@@ -1,0 +1,21 @@
+"""NCL language frontend: lexer, parser, semantic analysis, type system."""
+
+from repro.ncl.ast import KernelKind, Program
+from repro.ncl.lexer import tokenize
+from repro.ncl.parser import parse
+from repro.ncl.sema import TranslationUnit, analyze
+
+__all__ = [
+    "KernelKind",
+    "Program",
+    "TranslationUnit",
+    "analyze",
+    "parse",
+    "tokenize",
+    "frontend",
+]
+
+
+def frontend(source: str, filename: str = "<ncl>", defines=None) -> TranslationUnit:
+    """Parse and analyze NCL source in one step."""
+    return analyze(parse(source, filename, defines))

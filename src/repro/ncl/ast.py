@@ -1,0 +1,455 @@
+"""Abstract syntax tree for NCL programs.
+
+Nodes are plain data holders produced by the parser; semantic analysis
+(:mod:`repro.ncl.sema`) annotates expressions with ``ty`` and resolves
+identifiers. Every node records the :class:`SourceLocation` of its first
+token for diagnostics.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SourceLocation
+from repro.ncl.types import Type
+
+
+class Node:
+    """Common AST node base; subclasses define __slots__-style attributes."""
+
+    def __init__(self, loc: SourceLocation):
+        self.loc = loc
+
+    def children(self) -> Sequence["Node"]:
+        return ()
+
+    def walk(self):
+        """Pre-order traversal of this subtree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expressions. ``ty`` is filled in by sema."""
+
+    def __init__(self, loc: SourceLocation):
+        super().__init__(loc)
+        self.ty: Optional[Type] = None
+
+
+class IntLit(Expr):
+    def __init__(self, loc: SourceLocation, value: int):
+        super().__init__(loc)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"IntLit({self.value})"
+
+
+class BoolLit(Expr):
+    def __init__(self, loc: SourceLocation, value: bool):
+        super().__init__(loc)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"BoolLit({self.value})"
+
+
+class StrLit(Expr):
+    """String literal -- only valid as a location label or kernel argument."""
+
+    def __init__(self, loc: SourceLocation, value: str):
+        super().__init__(loc)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"StrLit({self.value!r})"
+
+
+class Ident(Expr):
+    """Identifier reference; sema fills ``decl`` with the resolved symbol."""
+
+    def __init__(self, loc: SourceLocation, name: str):
+        super().__init__(loc)
+        self.name = name
+        self.decl: object = None
+
+    def __repr__(self) -> str:
+        return f"Ident({self.name})"
+
+
+class Index(Expr):
+    """``base[index]`` -- array subscript, pointer subscript, or Map lookup."""
+
+    def __init__(self, loc: SourceLocation, base: Expr, index: Expr):
+        super().__init__(loc)
+        self.base = base
+        self.index = index
+
+    def children(self) -> Sequence[Node]:
+        return (self.base, self.index)
+
+
+class Member(Expr):
+    """``base.field`` -- used for the builtin window/location structs."""
+
+    def __init__(self, loc: SourceLocation, base: Expr, field: str):
+        super().__init__(loc)
+        self.base = base
+        self.field = field
+
+    def children(self) -> Sequence[Node]:
+        return (self.base,)
+
+
+class Unary(Expr):
+    """Prefix unary op: one of ``- ! ~ * & ++ --`` (and postfix ++/--)."""
+
+    def __init__(self, loc: SourceLocation, op: str, operand: Expr, postfix: bool = False):
+        super().__init__(loc)
+        self.op = op
+        self.operand = operand
+        self.postfix = postfix
+
+    def children(self) -> Sequence[Node]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"Unary({'post' if self.postfix else ''}{self.op})"
+
+
+class Binary(Expr):
+    def __init__(self, loc: SourceLocation, op: str, lhs: Expr, rhs: Expr):
+        super().__init__(loc)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def children(self) -> Sequence[Node]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"Binary({self.op})"
+
+
+class Assign(Expr):
+    """Assignment or compound assignment (``op`` is '=', '+=', ...)."""
+
+    def __init__(self, loc: SourceLocation, op: str, target: Expr, value: Expr):
+        super().__init__(loc)
+        self.op = op
+        self.target = target
+        self.value = value
+
+    def children(self) -> Sequence[Node]:
+        return (self.target, self.value)
+
+
+class Ternary(Expr):
+    def __init__(self, loc: SourceLocation, cond: Expr, then: Expr, other: Expr):
+        super().__init__(loc)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+    def children(self) -> Sequence[Node]:
+        return (self.cond, self.then, self.other)
+
+
+class Call(Expr):
+    """Function call. Builtin intrinsics (``_drop``, ``memcpy``, ...) and
+    user helper functions share this node; sema classifies them."""
+
+    def __init__(self, loc: SourceLocation, name: str, args: List[Expr]):
+        super().__init__(loc)
+        self.name = name
+        self.args = args
+        self.is_intrinsic = False
+
+    def children(self) -> Sequence[Node]:
+        return tuple(self.args)
+
+    def __repr__(self) -> str:
+        return f"Call({self.name})"
+
+
+class Cast(Expr):
+    def __init__(self, loc: SourceLocation, target: Type, operand: Expr):
+        super().__init__(loc)
+        self.target = target
+        self.operand = operand
+
+    def children(self) -> Sequence[Node]:
+        return (self.operand,)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    pass
+
+
+class Block(Stmt):
+    def __init__(self, loc: SourceLocation, stmts: List[Stmt]):
+        super().__init__(loc)
+        self.stmts = stmts
+
+    def children(self) -> Sequence[Node]:
+        return tuple(self.stmts)
+
+
+class DeclStmt(Stmt):
+    """Local variable declaration. ``is_auto`` marks ``auto *x = Map[k]``."""
+
+    def __init__(
+        self,
+        loc: SourceLocation,
+        name: str,
+        ty: Optional[Type],
+        init: Optional[Expr],
+        is_auto: bool = False,
+    ):
+        super().__init__(loc)
+        self.name = name
+        self.ty = ty
+        self.init = init
+        self.is_auto = is_auto
+
+    def children(self) -> Sequence[Node]:
+        return (self.init,) if self.init is not None else ()
+
+
+class ExprStmt(Stmt):
+    def __init__(self, loc: SourceLocation, expr: Expr):
+        super().__init__(loc)
+        self.expr = expr
+
+    def children(self) -> Sequence[Node]:
+        return (self.expr,)
+
+
+class If(Stmt):
+    """``if`` statement. ``cond_decl`` carries a C++17-style condition
+    declaration (``if (auto *idx = Idx[key]) ...``, Fig 5)."""
+
+    def __init__(
+        self,
+        loc: SourceLocation,
+        cond: Optional[Expr],
+        then: Stmt,
+        orelse: Optional[Stmt],
+        cond_decl: Optional[DeclStmt] = None,
+    ):
+        super().__init__(loc)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+        self.cond_decl = cond_decl
+
+    def children(self) -> Sequence[Node]:
+        out: List[Node] = []
+        if self.cond_decl is not None:
+            out.append(self.cond_decl)
+        if self.cond is not None:
+            out.append(self.cond)
+        out.append(self.then)
+        if self.orelse is not None:
+            out.append(self.orelse)
+        return tuple(out)
+
+
+class While(Stmt):
+    def __init__(self, loc: SourceLocation, cond: Expr, body: Stmt):
+        super().__init__(loc)
+        self.cond = cond
+        self.body = body
+
+    def children(self) -> Sequence[Node]:
+        return (self.cond, self.body)
+
+
+class For(Stmt):
+    def __init__(
+        self,
+        loc: SourceLocation,
+        init: Optional[Stmt],
+        cond: Optional[Expr],
+        step: Optional[Expr],
+        body: Stmt,
+    ):
+        super().__init__(loc)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+    def children(self) -> Sequence[Node]:
+        out: List[Node] = []
+        for part in (self.init, self.cond, self.step, self.body):
+            if part is not None:
+                out.append(part)
+        return tuple(out)
+
+
+class Return(Stmt):
+    def __init__(self, loc: SourceLocation, value: Optional[Expr]):
+        super().__init__(loc)
+        self.value = value
+
+    def children(self) -> Sequence[Node]:
+        return (self.value,) if self.value is not None else ()
+
+
+class Break(Stmt):
+    pass
+
+
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+
+class KernelKind(Enum):
+    """The two kinds of network kernels (paper S4.1)."""
+
+    OUT = auto()  # _net_ _out_ : runs on switches along the path
+    IN = auto()  # _net_ _in_  : runs on the receiving host
+
+
+class Param(Node):
+    """A kernel/function parameter. ``ext`` marks ``_ext_`` host pointers
+    on incoming kernels (Fig 4 line 15)."""
+
+    def __init__(self, loc: SourceLocation, name: str, ty: Type, ext: bool = False):
+        super().__init__(loc)
+        self.name = name
+        self.ty = ty
+        self.ext = ext
+
+    def __repr__(self) -> str:
+        return f"Param({'_ext_ ' if self.ext else ''}{self.name}: {self.ty!r})"
+
+
+class GlobalVar(Node):
+    """File-scope variable.
+
+    - ``is_net`` with no ``is_ctrl``: switch memory (register arrays).
+    - ``is_net`` + ``is_ctrl``: control variable, host-written, switch-read.
+    - neither: ordinary host global.
+    ``at_label`` pins switch memory to one AND location; ``None`` means the
+    variable exists on every switch (location-less, SPMD).
+    """
+
+    def __init__(
+        self,
+        loc: SourceLocation,
+        name: str,
+        ty: Type,
+        init: Optional[object],
+        is_net: bool = False,
+        is_ctrl: bool = False,
+        at_label: Optional[str] = None,
+    ):
+        super().__init__(loc)
+        self.name = name
+        self.ty = ty
+        self.init = init
+        self.is_net = is_net
+        self.is_ctrl = is_ctrl
+        self.at_label = at_label
+
+    def __repr__(self) -> str:
+        spec = "".join(
+            part
+            for part in (
+                "_net_ " if self.is_net else "",
+                "_ctrl_ " if self.is_ctrl else "",
+                f'_at_("{self.at_label}") ' if self.at_label else "",
+            )
+        )
+        return f"GlobalVar({spec}{self.name}: {self.ty!r})"
+
+
+class WindowExt(Node):
+    """Programmer extension of the builtin window struct (paper S4.2).
+
+    Declared as ``struct window { <scalar fields> };`` -- the fields are
+    appended to the builtin ones and travel inside the NCP header.
+    """
+
+    def __init__(self, loc: SourceLocation, fields: List[Tuple[str, Type]]):
+        super().__init__(loc)
+        self.fields = fields
+
+
+class FuncDecl(Node):
+    """A function definition: plain host function, helper, or kernel."""
+
+    def __init__(
+        self,
+        loc: SourceLocation,
+        name: str,
+        ret: Type,
+        params: List[Param],
+        body: Optional[Block],
+        kernel_kind: Optional[KernelKind] = None,
+        at_label: Optional[str] = None,
+    ):
+        super().__init__(loc)
+        self.name = name
+        self.ret = ret
+        self.params = params
+        self.body = body
+        self.kernel_kind = kernel_kind
+        self.at_label = at_label
+
+    @property
+    def is_kernel(self) -> bool:
+        return self.kernel_kind is not None
+
+    def children(self) -> Sequence[Node]:
+        return (self.body,) if self.body is not None else ()
+
+    def __repr__(self) -> str:
+        kind = self.kernel_kind.name if self.kernel_kind else "func"
+        return f"FuncDecl({kind} {self.name})"
+
+
+class Program(Node):
+    """One parsed NCL translation unit."""
+
+    def __init__(self, loc: SourceLocation, decls: List[Node]):
+        super().__init__(loc)
+        self.decls = decls
+
+    def children(self) -> Sequence[Node]:
+        return tuple(self.decls)
+
+    @property
+    def functions(self) -> List[FuncDecl]:
+        return [d for d in self.decls if isinstance(d, FuncDecl)]
+
+    @property
+    def globals(self) -> List[GlobalVar]:
+        return [d for d in self.decls if isinstance(d, GlobalVar)]
+
+    @property
+    def window_ext(self) -> Optional[WindowExt]:
+        for d in self.decls:
+            if isinstance(d, WindowExt):
+                return d
+        return None

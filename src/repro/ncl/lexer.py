@@ -1,0 +1,217 @@
+"""Hand-written lexer for the NCL C subset.
+
+Supports decimal/hex/octal/binary integer literals with ``u``/``l``
+suffixes, character and string literals with the common escapes, ``//``
+and ``/* */`` comments, and ``#``-lines (preprocessor directives are
+recognized and skipped -- NCL programs in this reproduction use constants
+via the ``defines`` compiler option instead of a full preprocessor).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Mapping, Optional
+
+from repro.errors import NclSyntaxError, SourceLocation
+from repro.ncl.tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+
+class Lexer:
+    """Tokenizes one NCL translation unit."""
+
+    def __init__(self, source: str, filename: str = "<ncl>"):
+        self._src = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    # -- low-level cursor ---------------------------------------------------
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self._filename, self._line, self._col)
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self._pos + offset
+        return self._src[idx] if idx < len(self._src) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self._src[self._pos : self._pos + count]
+        for ch in text:
+            if ch == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+        self._pos += count
+        return text
+
+    # -- skipping -----------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._loc()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self._pos >= len(self._src):
+                        raise NclSyntaxError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            elif ch == "#" and self._col == 1:
+                # Preprocessor line: consume (with backslash continuations).
+                while self._pos < len(self._src):
+                    if self._peek() == "\\" and self._peek(1) == "\n":
+                        self._advance(2)
+                    elif self._peek() == "\n":
+                        break
+                    else:
+                        self._advance()
+            else:
+                return
+
+    # -- literal scanners ---------------------------------------------------
+
+    def _lex_number(self) -> Token:
+        loc = self._loc()
+        start = self._pos
+        if self._peek() == "0" and self._peek(1) and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+        elif self._peek() == "0" and self._peek(1) and self._peek(1) in "bB":
+            self._advance(2)
+            while self._peek() and self._peek() in "01_":
+                self._advance()
+        else:
+            while self._peek().isdigit() or self._peek() == "_":
+                self._advance()
+        # integer suffixes
+        while self._peek() and self._peek() in "uUlL":
+            self._advance()
+        text = self._src[start : self._pos]
+        body = text.rstrip("uUlL").replace("_", "")
+        try:
+            if body.lower().startswith("0x"):
+                value = int(body, 16)
+            elif body.lower().startswith("0b"):
+                value = int(body, 2)
+            elif body.startswith("0") and len(body) > 1:
+                value = int(body, 8)
+            else:
+                value = int(body, 10)
+        except ValueError:
+            raise NclSyntaxError(f"malformed integer literal {text!r}", loc)
+        return Token(TokenKind.INT_LIT, text, loc, value)
+
+    def _lex_escaped_char(self, loc: SourceLocation) -> str:
+        ch = self._advance()
+        if ch != "\\":
+            return ch
+        esc = self._advance()
+        if esc == "x":
+            digits = ""
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                digits += self._advance()
+            if not digits:
+                raise NclSyntaxError("\\x escape with no hex digits", loc)
+            return chr(int(digits, 16))
+        if esc in _ESCAPES:
+            return _ESCAPES[esc]
+        raise NclSyntaxError(f"unknown escape sequence \\{esc}", loc)
+
+    def _lex_char(self) -> Token:
+        loc = self._loc()
+        self._advance()  # opening quote
+        if self._peek() == "'":
+            raise NclSyntaxError("empty character literal", loc)
+        value = self._lex_escaped_char(loc)
+        if self._advance() != "'":
+            raise NclSyntaxError("unterminated character literal", loc)
+        return Token(TokenKind.CHAR_LIT, f"'{value}'", loc, ord(value))
+
+    def _lex_string(self) -> Token:
+        loc = self._loc()
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self._pos >= len(self._src) or self._peek() == "\n":
+                raise NclSyntaxError("unterminated string literal", loc)
+            if self._peek() == '"':
+                self._advance()
+                break
+            chars.append(self._lex_escaped_char(loc))
+        value = "".join(chars)
+        return Token(TokenKind.STRING_LIT, f'"{value}"', loc, value)
+
+    # -- main loop ----------------------------------------------------------
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        loc = self._loc()
+        if self._pos >= len(self._src):
+            return Token(TokenKind.EOF, "", loc)
+        ch = self._peek()
+        if ch.isdigit():
+            return self._lex_number()
+        if ch == "'":
+            return self._lex_char()
+        if ch == '"':
+            return self._lex_string()
+        if ch.isalpha() or ch == "_":
+            start = self._pos
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            text = self._src[start : self._pos]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            return Token(kind, text, loc)
+        for punct in PUNCTUATORS:
+            if self._src.startswith(punct, self._pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, loc)
+        raise NclSyntaxError(f"unexpected character {ch!r}", loc)
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield all tokens, ending with a single EOF token."""
+        while True:
+            tok = self.next_token()
+            yield tok
+            if tok.kind is TokenKind.EOF:
+                return
+
+
+def tokenize(
+    source: str,
+    filename: str = "<ncl>",
+    defines: Optional[Mapping[str, int]] = None,
+) -> List[Token]:
+    """Tokenize NCL source, substituting integer *defines* for identifiers.
+
+    ``defines`` stands in for ``#define`` object macros (e.g. ``DATA_LEN``
+    in the paper's Fig 4); each occurrence of a defined name becomes an
+    integer literal token.
+    """
+    out: List[Token] = []
+    defines = dict(defines or {})
+    for tok in Lexer(source, filename).tokens():
+        if tok.kind is TokenKind.IDENT and tok.text in defines:
+            value = defines[tok.text]
+            out.append(Token(TokenKind.INT_LIT, str(value), tok.loc, value))
+        else:
+            out.append(tok)
+    return out

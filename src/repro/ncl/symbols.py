@@ -1,0 +1,77 @@
+"""Symbols and scopes for NCL semantic analysis."""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+from typing import Dict, List, Optional
+
+from repro.errors import NclTypeError, SourceLocation
+from repro.ncl.types import Type
+
+
+class SymbolKind(Enum):
+    LOCAL = auto()  # block-scope variable
+    PARAM = auto()  # kernel/function parameter
+    HOST_GLOBAL = auto()  # ordinary file-scope variable (host memory)
+    NET_MEM = auto()  # _net_ switch memory (register array / scalar)
+    CTRL = auto()  # _net_ _ctrl_ control variable (host-written)
+    MAP = auto()  # ncl::Map global (implicitly _ctrl_)
+    BLOOM = auto()  # ncl::BloomFilter global
+    FUNC = auto()  # function or kernel
+
+
+class Symbol:
+    """A named entity. ``at_label`` only applies to switch-side symbols."""
+
+    def __init__(
+        self,
+        name: str,
+        ty: Type,
+        kind: SymbolKind,
+        loc: SourceLocation,
+        at_label: Optional[str] = None,
+        ext: bool = False,
+    ):
+        self.name = name
+        self.ty = ty
+        self.kind = kind
+        self.loc = loc
+        self.at_label = at_label
+        self.ext = ext
+
+    @property
+    def is_switch_side(self) -> bool:
+        return self.kind in (SymbolKind.NET_MEM, SymbolKind.CTRL, SymbolKind.MAP, SymbolKind.BLOOM)
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.kind.name} {self.name}: {self.ty!r})"
+
+
+class Scope:
+    """Lexically nested symbol table."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self._symbols: Dict[str, Symbol] = {}
+
+    def declare(self, symbol: Symbol) -> Symbol:
+        if symbol.name in self._symbols:
+            prev = self._symbols[symbol.name]
+            raise NclTypeError(
+                f"redeclaration of {symbol.name!r} (previous at {prev.loc})",
+                symbol.loc,
+            )
+        self._symbols[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            sym = scope._symbols.get(name)
+            if sym is not None:
+                return sym
+            scope = scope.parent
+        return None
+
+    def locals(self) -> List[Symbol]:
+        return list(self._symbols.values())

@@ -1,0 +1,143 @@
+"""Token definitions for the NCL lexer."""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+from typing import Union
+
+from repro.errors import SourceLocation
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    KEYWORD = auto()
+    INT_LIT = auto()
+    CHAR_LIT = auto()
+    STRING_LIT = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+#: C keywords recognized by the parser (a subset; NCL specifiers separate).
+KEYWORDS = frozenset(
+    {
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "true",
+        "false",
+        "auto",
+        "const",
+        "struct",
+        "sizeof",
+        "static",
+        # type keywords
+        "void",
+        "bool",
+        "char",
+        "int",
+        "unsigned",
+        "signed",
+        "long",
+        "short",
+        "int8_t",
+        "int16_t",
+        "int32_t",
+        "int64_t",
+        "uint8_t",
+        "uint16_t",
+        "uint32_t",
+        "uint64_t",
+        "size_t",
+        # NCL declaration specifiers (paper S4.1)
+        "_net_",
+        "_out_",
+        "_in_",
+        "_ctrl_",
+        "_ext_",
+        "_at_",
+    }
+)
+
+#: Multi-character punctuators, longest first so the lexer can greedy-match.
+PUNCTUATORS = [
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "::",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+
+class Token:
+    """A single lexical token with its source location."""
+
+    __slots__ = ("kind", "text", "value", "loc")
+
+    def __init__(
+        self,
+        kind: TokenKind,
+        text: str,
+        loc: SourceLocation,
+        value: Union[int, str, None] = None,
+    ):
+        self.kind = kind
+        self.text = text
+        self.loc = loc
+        self.value = value
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_punct(self, *names: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r} @ {self.loc})"

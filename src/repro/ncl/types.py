@@ -1,0 +1,274 @@
+"""The NCL type system.
+
+NCL extends a C subset, so its types are C types: fixed-width integers,
+``bool``, ``char``, ``void``, arrays, and pointers (parameters only).
+The NCL standard library adds switch-side container types -- ``Map`` and
+``BloomFilter`` -- which the compiler lowers to match-action tables
+(see the paper, S3.2 and Fig 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import NclTypeError
+
+
+class Type:
+    """Base class for NCL types. Types are immutable and compared by value."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        return ()
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_bool(self) -> bool:
+        return isinstance(self, BoolType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_scalar(self) -> bool:
+        """Scalars fit in a single PHV/metadata field."""
+        return isinstance(self, (IntType, BoolType))
+
+
+class VoidType(Type):
+    def __repr__(self) -> str:
+        return "void"
+
+
+class BoolType(Type):
+    """C++ bool; stored as one byte, one bit semantically."""
+
+    bits = 8
+
+    def __repr__(self) -> str:
+        return "bool"
+
+
+class IntType(Type):
+    """Fixed-width integer, e.g. ``uint32_t`` (bits=32, signed=False)."""
+
+    def __init__(self, bits: int, signed: bool):
+        if bits not in (8, 16, 32, 64):
+            raise NclTypeError(f"unsupported integer width {bits}")
+        self.bits = bits
+        self.signed = signed
+
+    def _key(self) -> tuple:
+        return (self.bits, self.signed)
+
+    def __repr__(self) -> str:
+        return f"{'int' if self.signed else 'uint'}{self.bits}_t"
+
+
+class PointerType(Type):
+    """Pointer to an element type. Only valid in kernel parameter lists and
+    as the result of a Map lookup (`auto *idx = Idx[key]`)."""
+
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    def _key(self) -> tuple:
+        return (self.pointee,)
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+
+class ArrayType(Type):
+    """Fixed-length array. 2-D arrays (e.g. ``char Cache[256][128]``) nest."""
+
+    def __init__(self, element: Type, length: int):
+        if length <= 0:
+            raise NclTypeError(f"array length must be positive, got {length}")
+        self.element = element
+        self.length = length
+
+    def _key(self) -> tuple:
+        return (self.element, self.length)
+
+    @property
+    def total_elements(self) -> int:
+        if isinstance(self.element, ArrayType):
+            return self.length * self.element.total_elements
+        return self.length
+
+    @property
+    def scalar_element(self) -> Type:
+        """The innermost (non-array) element type."""
+        elem = self.element
+        while isinstance(elem, ArrayType):
+            elem = elem.element
+        return elem
+
+    def __repr__(self) -> str:
+        return f"{self.element!r}[{self.length}]"
+
+
+class MapType(Type):
+    """``ncl::Map<K, V, N>`` -- control-plane managed exact-match table.
+
+    Lookup (``Idx[key]``) yields a nullable pointer to V, matching Fig 5's
+    ``auto *idx = Idx[key]`` idiom.  Implicitly ``_ctrl_``: switch code may
+    only read, hosts insert/remove via the control plane.
+    """
+
+    def __init__(self, key: Type, value: Type, capacity: int):
+        if not key.is_integer:
+            raise NclTypeError(f"Map key must be an integer type, got {key!r}")
+        if not (value.is_integer or value.is_bool):
+            raise NclTypeError(f"Map value must be scalar, got {value!r}")
+        if capacity <= 0:
+            raise NclTypeError(f"Map capacity must be positive, got {capacity}")
+        self.key = key
+        self.value = value
+        self.capacity = capacity
+
+    def _key(self) -> tuple:
+        return (self.key, self.value, self.capacity)
+
+    def __repr__(self) -> str:
+        return f"ncl::Map<{self.key!r}, {self.value!r}, {self.capacity}>"
+
+
+class BloomFilterType(Type):
+    """``ncl::BloomFilter<N, K>`` -- switch-side membership sketch."""
+
+    def __init__(self, nbits: int, nhashes: int):
+        if nbits <= 0 or nhashes <= 0:
+            raise NclTypeError("BloomFilter parameters must be positive")
+        self.nbits = nbits
+        self.nhashes = nhashes
+
+    def _key(self) -> tuple:
+        return (self.nbits, self.nhashes)
+
+    def __repr__(self) -> str:
+        return f"ncl::BloomFilter<{self.nbits}, {self.nhashes}>"
+
+
+# Canonical instances -------------------------------------------------------
+
+VOID = VoidType()
+BOOL = BoolType()
+CHAR = IntType(8, signed=True)
+I8 = IntType(8, signed=True)
+I16 = IntType(16, signed=True)
+I32 = IntType(32, signed=True)
+I64 = IntType(64, signed=True)
+U8 = IntType(8, signed=False)
+U16 = IntType(16, signed=False)
+U32 = IntType(32, signed=False)
+U64 = IntType(64, signed=False)
+
+#: Spelling of every builtin scalar type keyword.
+BUILTIN_TYPE_NAMES = {
+    "void": VOID,
+    "bool": BOOL,
+    "char": CHAR,
+    "int": I32,
+    "unsigned": U32,
+    "long": I64,
+    "int8_t": I8,
+    "int16_t": I16,
+    "int32_t": I32,
+    "int64_t": I64,
+    "uint8_t": U8,
+    "uint16_t": U16,
+    "uint32_t": U32,
+    "uint64_t": U64,
+    "size_t": U64,
+}
+
+
+def scalar_bits(ty: Type) -> int:
+    """Bit width of a scalar type (bool counts as 8, per its storage)."""
+    if isinstance(ty, IntType):
+        return ty.bits
+    if isinstance(ty, BoolType):
+        return BoolType.bits
+    raise NclTypeError(f"{ty!r} is not a scalar type")
+
+
+def is_signed(ty: Type) -> bool:
+    if isinstance(ty, IntType):
+        return ty.signed
+    if isinstance(ty, BoolType):
+        return False
+    raise NclTypeError(f"{ty!r} is not a scalar type")
+
+
+def common_type(a: Type, b: Type) -> Type:
+    """C-style usual arithmetic conversions, restricted to our widths.
+
+    The wider operand wins; on equal width, unsigned wins. bool promotes
+    to ``int`` as in C.
+    """
+    if a.is_bool and b.is_bool:
+        return I32
+    ta = I32 if a.is_bool else a
+    tb = I32 if b.is_bool else b
+    if not (isinstance(ta, IntType) and isinstance(tb, IntType)):
+        raise NclTypeError(f"no common arithmetic type for {a!r} and {b!r}")
+    # C integer promotion: anything narrower than int becomes (signed) int
+    # first, THEN the usual arithmetic conversions apply.
+    if ta.bits < 32:
+        ta = I32
+    if tb.bits < 32:
+        tb = I32
+    bits = max(ta.bits, tb.bits)
+    if ta.bits == tb.bits:
+        signed = ta.signed and tb.signed
+    else:
+        signed = (ta if ta.bits > tb.bits else tb).signed
+    return IntType(bits, signed)
+
+
+def assignable(dst: Type, src: Type) -> bool:
+    """Whether a value of type *src* may be assigned to an lvalue of *dst*.
+
+    NCL is stricter than C in one place only: pointer conversions other
+    than exact match are rejected (they cannot be represented in a PHV).
+    Integer narrowing/widening is allowed, as in C.
+    """
+    if dst.is_array or src.is_array:
+        return False  # arrays are not assignable in C
+    if dst == src:
+        return True
+    if dst.is_scalar and src.is_scalar:
+        return True
+    if dst.is_pointer and src.is_pointer:
+        return dst == src
+    return False
+
+
+def sizeof(ty: Type) -> int:
+    """Storage size in bytes (used for memcpy bounds and NCP chunk layout)."""
+    if isinstance(ty, (IntType, BoolType)):
+        return scalar_bits(ty) // 8
+    if isinstance(ty, ArrayType):
+        return ty.length * sizeof(ty.element)
+    if isinstance(ty, PointerType):
+        return 8
+    raise NclTypeError(f"sizeof not defined for {ty!r}")

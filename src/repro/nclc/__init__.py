@@ -1,0 +1,5 @@
+"""nclc: the NCL compiler (conformance, versioning, optimization, codegen)."""
+
+from repro.nclc.driver import CompiledProgram, Compiler, WindowConfig
+
+__all__ = ["CompiledProgram", "Compiler", "WindowConfig"]

@@ -1,0 +1,161 @@
+"""nclc command-line driver.
+
+Compile an NCL program and emit the per-switch P4 artifacts::
+
+    python -m repro.nclc program.ncl --and overlay.and -o build/
+    python -m repro.nclc program.ncl --profile tofino-like \
+        --window 'kernel=8' --ext 'len=8' -D DATA_LEN=512 -D WIN_LEN=8
+
+Outputs, per switch label: ``<label>.p4`` (generated source) and
+``<label>.report.json`` (the backend's acceptance report). A rejection
+prints the backend's feedback and exits non-zero -- the trial-and-error
+loop of the paper's S6, on the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import BackendRejection, ConformanceError, NclError, ReproError
+from repro.nclc.driver import Compiler, WindowConfig
+
+
+def parse_kv(pairs, cast=int):
+    out = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"expected NAME=VALUE, got {pair!r}")
+        name, _, value = pair.partition("=")
+        out[name.strip()] = cast(value)
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nclc", description="NCL compiler (NCL -> P4 for PISA switches)"
+    )
+    parser.add_argument("source", help="NCL source file")
+    parser.add_argument("--and", dest="and_file", help="AND overlay file")
+    parser.add_argument(
+        "-o", "--output", default=".", help="output directory (default: cwd)"
+    )
+    parser.add_argument(
+        "--profile",
+        default="bmv2",
+        help="target chip profile: bmv2 | tofino-like (default: bmv2)",
+    )
+    parser.add_argument(
+        "-D",
+        dest="defines",
+        action="append",
+        metavar="NAME=VALUE",
+        help="constant definition (repeatable)",
+    )
+    parser.add_argument(
+        "--window",
+        dest="windows",
+        action="append",
+        metavar="KERNEL=N[,N...]",
+        help="window mask for an outgoing kernel (repeatable)",
+    )
+    parser.add_argument(
+        "--ext",
+        dest="exts",
+        action="append",
+        metavar="FIELD=VALUE",
+        help="window extension field value (applies to all kernels)",
+    )
+    parser.add_argument(
+        "--no-split",
+        action="store_true",
+        help="disable the register-array splitting transformation",
+    )
+    parser.add_argument(
+        "--dump-ir",
+        action="store_true",
+        help="print the optimized switch IR instead of writing artifacts",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    source = Path(args.source).read_text()
+    and_text = Path(args.and_file).read_text() if args.and_file else None
+    defines = parse_kv(args.defines)
+    ext = parse_kv(args.exts)
+
+    windows = {}
+    for spec in args.windows or []:
+        kernel, _, mask_text = spec.partition("=")
+        mask = tuple(int(m) for m in mask_text.split(","))
+        windows[kernel.strip()] = WindowConfig(mask=mask, ext=ext)
+
+    compiler = Compiler(
+        profile=args.profile,
+        split_arrays=False if args.no_split else "auto",
+    )
+    try:
+        program = compiler.compile(
+            source,
+            and_text=and_text,
+            windows=windows or None,
+            defines=defines or None,
+            filename=args.source,
+        )
+    except BackendRejection as exc:
+        print("backend REJECTED the program:", file=sys.stderr)
+        for reason in exc.reasons:
+            print(f"  - {reason}", file=sys.stderr)
+        return 2
+    except (ConformanceError, NclError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.dump_ir:
+        for label, p4 in program.switch_programs.items():
+            print(f"// ===== switch {label} =====")
+            print(program.switch_sources[label])
+        return 0
+
+    outdir = Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for label, p4_text in program.switch_sources.items():
+        p4_path = outdir / f"{label}.p4"
+        p4_path.write_text(p4_text)
+        report = program.reports[label]
+        report_path = outdir / f"{label}.report.json"
+        payload = report.as_dict()
+        payload["splits"] = [
+            {"array": s.name, "stride": s.stride, "parts": s.part_names}
+            for s in program.split_info.get(label, [])
+        ]
+        report_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"{label}: ACCEPTED on {report.profile} "
+              f"({report.stages} stages, {report.phv_bits} PHV bits) "
+              f"-> {p4_path}")
+    layouts = {
+        name: {
+            "kernel_id": layout.kernel_id,
+            "chunks": [
+                {"param": c.name, "count": c.count, "bits": c.bits}
+                for c in layout.chunks
+            ],
+            "ext_fields": [
+                {"name": n, "bits": b} for n, b, _ in layout.ext_fields
+            ],
+        }
+        for name, layout in program.layouts.items()
+    }
+    (outdir / "ncp_layouts.json").write_text(json.dumps(layouts, indent=2) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,749 @@
+"""NIR -> P4 code generation (nclc stage 4, paper S5).
+
+Takes the per-location, window-specialized, fully-unrolled (acyclic) IR
+of each outgoing kernel and produces one :class:`P4Program` per switch:
+
+* window data elements become fields of a per-kernel payload header
+  (``k<id>.d<param>_<elem>``) -- "window data is accessed through the
+  packet part of the PHV";
+* every SSA value becomes a metadata field (``meta.k<id>_v<n>``) -- the
+  paper's reverse-SROA mapping of SSA registers to a metadata struct;
+* ``_net_`` arrays become register extern arrays, ``_ctrl_`` variables
+  become control-plane-written registers, ``ncl::Map`` becomes an exact
+  match-action table whose hit action delivers the value as action data;
+* basic blocks become actions; branches become control-flow gateways;
+  merge points are tail-duplicated (acceptable at kernel scale, and what
+  lets phis turn into per-edge metadata assignments);
+* the result is merged with the template switch configuration: the
+  Ethernet/IPv4/UDP/NCP parse graph, NCP kernel dispatch, and plain IPv4
+  forwarding for non-NCP traffic (Fig 3b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConformanceError
+from repro.ncl.types import BOOL, PointerType, Type, is_signed, scalar_bits, sizeof
+from repro.ncp.wire import (
+    ETH_FIELDS,
+    ETHERTYPE_IPV4,
+    IP_PROTO_UDP,
+    IPV4_FIELDS,
+    KernelLayout,
+    NCP_FIELDS,
+    NCP_PORT,
+    UDP_FIELDS,
+    FLAG_LAST,
+)
+from repro.nir import ir
+from repro.p4.model import (
+    Action,
+    Apply,
+    ControlNode,
+    Do,
+    FWD_BCAST,
+    FWD_DROP,
+    FWD_PASS,
+    FWD_REFLECT,
+    HeaderType,
+    IfNode,
+    META_FWD,
+    META_FWD_LABEL,
+    P4Program,
+    ParseState,
+    PAssign,
+    PBin,
+    PConst,
+    PExpr,
+    PField,
+    PParam,
+    PRegRead,
+    PRegWrite,
+    PUn,
+    RegisterArray,
+    Table,
+)
+
+#: metadata field carrying the chosen egress port for plain forwarding
+META_EGRESS = "meta.egress_port"
+
+_FWD_CODE = {
+    ir.FwdKind.PASS: FWD_PASS,
+    ir.FwdKind.DROP: FWD_DROP,
+    ir.FwdKind.BCAST: FWD_BCAST,
+    ir.FwdKind.REFLECT: FWD_REFLECT,
+}
+
+#: hard cap on control nodes emitted per kernel (tail-duplication guard)
+MAX_CONTROL_NODES = 20_000
+
+
+def _bits_of(ty: Type) -> int:
+    if ty.is_pointer:
+        return 8  # map tokens: materialized as found/value pairs; 8b flag
+    return scalar_bits(ty)
+
+
+class CodegenError(ConformanceError):
+    """A construct that survived conformance checking but cannot be
+    expressed on the PISA target (should not normally happen)."""
+
+
+class KernelCodegen:
+    """Generates the control subtree + actions for one outgoing kernel."""
+
+    def __init__(
+        self,
+        program: P4Program,
+        module: ir.Module,
+        fn: ir.Function,
+        layout: KernelLayout,
+        label_ids: Dict[str, int],
+    ):
+        self.program = program
+        self.module = module
+        self.fn = fn
+        self.layout = layout
+        self.label_ids = label_ids
+        self.kid = layout.kernel_id
+        self.hdr = f"k{self.kid}"  # per-kernel payload header instance
+        self._meta: Dict[int, str] = {}  # instr id -> meta field ref
+        # Dense per-kernel value numbering: output must not depend on the
+        # process-global instruction counter (artifact reproducibility).
+        self._local_ids: Dict[int, int] = {}
+        self._action_counter = 0
+        self._uniq_counter = 0
+        self._node_budget = MAX_CONTROL_NODES
+        #: data params: param index -> chunk index in the layout
+        self._chunk_index = {
+            p.index: ci
+            for ci, p in enumerate([p for p in fn.params if not p.ext])
+        }
+
+    # -- naming ------------------------------------------------------------
+
+    def _lid(self, instr: ir.Instr) -> int:
+        lid = self._local_ids.get(instr.id)
+        if lid is None:
+            lid = len(self._local_ids)
+            self._local_ids[instr.id] = lid
+        return lid
+
+    def meta_field(self, instr: ir.Instr) -> str:
+        ref = self._meta.get(instr.id)
+        if ref is None:
+            name = f"k{self.kid}_v{self._lid(instr)}"
+            ref = self.program.add_metadata(name, _bits_of(instr.ty))
+            self._meta[instr.id] = ref
+        return ref
+
+    def _fresh_action(self, hint: str) -> str:
+        self._action_counter += 1
+        return f"k{self.kid}_{hint}_{self._action_counter}"
+
+    def data_field(self, param: ir.Param, elem: int) -> str:
+        ci = self._chunk_index.get(param.index)
+        if ci is None:
+            raise CodegenError(
+                f"{self.fn.name}: parameter {param.name!r} is not window data"
+            )
+        chunk = self.layout.chunks[ci]
+        if not 0 <= elem < chunk.count:
+            raise ConformanceError(
+                f"{self.fn.name}: access to {param.name}[{elem}] is outside "
+                f"the window (mask gives {chunk.count} elements per window)"
+            )
+        return f"{self.hdr}.d{ci}_{elem}"
+
+    # -- operand lowering -------------------------------------------------------
+
+    def expr_of(self, value: ir.Value) -> PExpr:
+        if isinstance(value, ir.Const):
+            bits = _bits_of(value.ty) if value.ty.is_scalar else 32
+            return PConst(value.value & ((1 << bits) - 1) if value.value < 0 else value.value, bits)
+        if isinstance(value, ir.Param):
+            if isinstance(value.ty, PointerType):
+                raise CodegenError(
+                    f"{self.fn.name}: raw pointer {value.name!r} used as a value"
+                )
+            return PField(self.data_field(value, 0))
+        if isinstance(value, ir.Undef):
+            return PConst(0, 32)
+        if isinstance(value, ir.Instr):
+            return PField(self.meta_field(value))
+        raise CodegenError(f"cannot lower operand {value!r}")
+
+    def _const_index(self, value: ir.Value, what: str) -> int:
+        if isinstance(value, ir.Const):
+            return value.value
+        raise ConformanceError(
+            f"{self.fn.name}: {what} must be a compile-time constant after "
+            "unrolling (window data lives in fixed PHV fields)"
+        )
+
+    # -- per-instruction translation -------------------------------------------
+
+    def lower_instr(
+        self, instr: ir.Instr, prims: List, nodes: List[ControlNode]
+    ) -> None:
+        """Append primitives for *instr* to the open primitive list
+        ``prims``; instructions needing a table apply or control flow
+        flush ``prims`` into ``nodes`` first."""
+        if isinstance(instr, ir.BinOp):
+            prims.append(PAssign(self.meta_field(instr), self._binop_expr(instr)))
+        elif isinstance(instr, ir.UnOp):
+            signed = is_signed(instr.ty) if instr.ty.is_scalar else False
+            prims.append(
+                PAssign(
+                    self.meta_field(instr),
+                    PUn(instr.op, self.expr_of(instr.operands[0]), _bits_of(instr.ty), signed),
+                )
+            )
+        elif isinstance(instr, ir.Cast):
+            prims.append(PAssign(self.meta_field(instr), self._cast_expr(instr)))
+        elif isinstance(instr, ir.Select):
+            from repro.p4.model import PMux
+
+            prims.append(
+                PAssign(
+                    self.meta_field(instr),
+                    PMux(
+                        self.expr_of(instr.operands[0]),
+                        self.expr_of(instr.operands[1]),
+                        self.expr_of(instr.operands[2]),
+                        _bits_of(instr.ty),
+                    ),
+                )
+            )
+        elif isinstance(instr, ir.LoadElem):
+            reg = self._register_for(instr.ref)
+            prims.append(
+                PRegRead(self.meta_field(instr), reg, self.expr_of(instr.index))
+            )
+        elif isinstance(instr, ir.StoreElem):
+            reg = self._register_for(instr.ref)
+            prims.append(
+                PRegWrite(reg, self.expr_of(instr.index), self.expr_of(instr.value))
+            )
+        elif isinstance(instr, ir.LoadParam):
+            elem = self._const_index(instr.index, "window-data index")
+            prims.append(
+                PAssign(self.meta_field(instr), PField(self.data_field(instr.param, elem)))
+            )
+        elif isinstance(instr, ir.StoreParam):
+            elem = self._const_index(instr.index, "window-data index")
+            prims.append(
+                PAssign(self.data_field(instr.param, elem), self.expr_of(instr.value))
+            )
+        elif isinstance(instr, ir.WinField):
+            prims.append(PAssign(self.meta_field(instr), self._winfield_expr(instr)))
+        elif isinstance(instr, (ir.LocField, ir.LocLabel)):
+            raise CodegenError(
+                f"{self.fn.name}: unresolved location reference (IR versioning "
+                "must run before codegen)"
+            )
+        elif isinstance(instr, ir.CtrlRead):
+            reg = self._register_for(instr.ref)
+            index = self.expr_of(instr.index) if instr.index is not None else PConst(0, 32)
+            prims.append(PRegRead(self.meta_field(instr), reg, index))
+        elif isinstance(instr, ir.MapLookup):
+            self._lower_map_lookup(instr, prims, nodes)
+        elif isinstance(instr, ir.MapFound):
+            token = instr.operands[0]
+            assert isinstance(token, ir.MapLookup)
+            prims.append(
+                PAssign(self.meta_field(instr), PField(self._map_found_field(token)))
+            )
+        elif isinstance(instr, ir.MapValue):
+            token = instr.operands[0]
+            assert isinstance(token, ir.MapLookup)
+            prims.append(
+                PAssign(self.meta_field(instr), PField(self._map_value_field(token)))
+            )
+        elif isinstance(instr, ir.BloomOp):
+            self._lower_bloom(instr, prims)
+        elif isinstance(instr, ir.Memcpy):
+            self._lower_memcpy(instr, prims)
+        elif isinstance(instr, ir.Fwd):
+            prims.append(PAssign(META_FWD, PConst(_FWD_CODE[instr.kind], 8)))
+            if instr.label is not None:
+                if instr.label not in self.label_ids:
+                    raise ConformanceError(
+                        f"{self.fn.name}: _pass label {instr.label!r} not in AND"
+                    )
+                prims.append(
+                    PAssign(META_FWD_LABEL, PConst(self.label_ids[instr.label], 16))
+                )
+        elif isinstance(instr, ir.CallFn):
+            raise CodegenError(
+                f"{self.fn.name}: call to {instr.callee.name} survived inlining"
+            )
+        elif isinstance(instr, (ir.Load, ir.Store, ir.Alloca)):
+            raise CodegenError(f"{self.fn.name}: stack slot survived mem2reg")
+        else:
+            raise CodegenError(f"{self.fn.name}: cannot lower {instr.render()}")
+
+    def _binop_expr(self, instr: ir.BinOp) -> PExpr:
+        op = instr.op
+        if op in ("udiv", "sdiv", "urem", "srem"):
+            raise ConformanceError(
+                f"{self.fn.name}: {op} by a non-power-of-two is not supported "
+                "by the PISA ALU model"
+            )
+        if op in ir.BinOp.COMPARES:
+            bits = max(
+                _bits_of(instr.lhs.ty) if instr.lhs.ty.is_scalar else 32,
+                _bits_of(instr.rhs.ty) if instr.rhs.ty.is_scalar else 32,
+            )
+            return PBin(op, self.expr_of(instr.lhs), self.expr_of(instr.rhs), bits)
+        bits = _bits_of(instr.ty)
+        signed = is_signed(instr.ty) if instr.ty.is_scalar else False
+        return PBin(op, self.expr_of(instr.lhs), self.expr_of(instr.rhs), bits, signed)
+
+    def _cast_expr(self, instr: ir.Cast) -> PExpr:
+        src = self.expr_of(instr.operands[0])
+        src_ty = instr.operands[0].ty
+        src_bits = _bits_of(src_ty) if src_ty.is_scalar else 32
+        dst_bits = _bits_of(instr.ty)
+        if instr.kind == "bool":
+            return PBin("ne", src, PConst(0, src_bits), src_bits)
+        if instr.kind == "trunc" or dst_bits <= src_bits:
+            return PBin("and", src, PConst((1 << dst_bits) - 1, dst_bits), dst_bits)
+        if instr.kind == "zext":
+            return src
+        # sext: (x ^ m) - m with m = 1 << (src_bits - 1), in dst width.
+        sign_bit = 1 << (src_bits - 1)
+        return PBin(
+            "sub",
+            PBin("xor", src, PConst(sign_bit, dst_bits), dst_bits),
+            PConst(sign_bit, dst_bits),
+            dst_bits,
+        )
+
+    def _winfield_expr(self, instr: ir.WinField) -> PExpr:
+        field = instr.field
+        if field == "seq":
+            return PField("ncp.seq")
+        if field == "from":
+            return PField("ncp.from_node")
+        if field == "last":
+            return PBin("and", PField("ncp.flags"), PConst(FLAG_LAST, 8), 8)
+        # user extension field
+        for name, _bits, _signed in self.layout.ext_fields:
+            if name == field:
+                return PField(f"{self.hdr}.x_{field}")
+        raise ConformanceError(
+            f"{self.fn.name}: window field {field!r} is neither builtin nor "
+            "in this kernel's window extension"
+        )
+
+    # -- maps ------------------------------------------------------------------
+
+    def _map_table_name(self, ref: ir.GlobalRef) -> str:
+        return f"map_{ref.name}"
+
+    def _map_found_field(self, lookup: ir.MapLookup) -> str:
+        return self.program.add_metadata(f"k{self.kid}_v{self._lid(lookup)}_found", 8)
+
+    def _map_value_field(self, lookup: ir.MapLookup) -> str:
+        bits = scalar_bits(lookup.ref.ty.value)  # type: ignore[union-attr]
+        return self.program.add_metadata(f"k{self.kid}_v{self._lid(lookup)}_val", bits)
+
+    def _ensure_map_table(self, ref: ir.GlobalRef) -> str:
+        name = self._map_table_name(ref)
+        if name in self.program.tables:
+            return name
+        key_bits = scalar_bits(ref.ty.key)  # type: ignore[union-attr]
+        val_bits = scalar_bits(ref.ty.value)  # type: ignore[union-attr]
+        key_field = self.program.add_metadata(f"map_{ref.name}_key", key_bits)
+        found_field = self.program.add_metadata(f"map_{ref.name}_found", 8)
+        val_field = self.program.add_metadata(f"map_{ref.name}_val", val_bits)
+        hit = Action(
+            f"map_{ref.name}_hit",
+            [
+                PAssign(found_field, PConst(1, 8)),
+                PAssign(val_field, PParam("value", val_bits)),
+            ],
+            params=[("value", val_bits)],
+        )
+        miss = Action(
+            f"map_{ref.name}_miss",
+            [PAssign(found_field, PConst(0, 8)), PAssign(val_field, PConst(0, val_bits))],
+        )
+        self.program.add_action(hit)
+        self.program.add_action(miss)
+        self.program.add_table(
+            Table(
+                name,
+                keys=[(key_field, "exact")],
+                actions=[hit.name],
+                default_action=miss.name,
+                managed_by="control-plane",
+                size=ref.ty.capacity,  # type: ignore[union-attr]
+            )
+        )
+        return name
+
+    def _lower_map_lookup(
+        self, instr: ir.MapLookup, prims: List, nodes: List[ControlNode]
+    ) -> None:
+        table = self._ensure_map_table(instr.ref)
+        key_field = f"meta.map_{instr.ref.name}_key"
+        prims.append(PAssign(key_field, self.expr_of(instr.key)))
+        self._flush(prims, nodes)
+        nodes.append(Apply(table))
+        # Latch the shared result fields into this lookup's own fields so
+        # several lookups of the same Map can coexist in one kernel.
+        prims.append(
+            PAssign(self._map_found_field(instr), PField(f"meta.map_{instr.ref.name}_found"))
+        )
+        prims.append(
+            PAssign(self._map_value_field(instr), PField(f"meta.map_{instr.ref.name}_val"))
+        )
+
+    # -- blooms ----------------------------------------------------------------
+
+    def _lower_bloom(self, instr: ir.BloomOp, prims: List) -> None:
+        from repro.ncl.types import BloomFilterType
+
+        ty = instr.ref.ty
+        assert isinstance(ty, BloomFilterType)
+        reg = self._register_for(instr.ref)
+        key = self.expr_of(instr.operands[0])
+        results = []
+        for i in range(ty.nhashes):
+            idx_field = self.program.add_metadata(
+                f"k{self.kid}_bf{self._lid(instr)}_i{i}", 32
+            )
+            # Mirrors BloomState._positions: two multiplicative hashes.
+            h1 = PBin(
+                "add",
+                PBin("mul", key, PConst(0x9E3779B97F4A7C15, 64), 64),
+                PConst(i, 64),
+                64,
+            )
+            h2 = PBin(
+                "mul",
+                PBin("xor", key, PBin("lshr", key, PConst(33, 64), 64), 64),
+                PConst(0xC2B2AE3D27D4EB4F, 64),
+                64,
+            )
+            mixed = PBin("add", h1, PBin("mul", PConst(i, 64), h2, 64), 64)
+            if ty.nbits & (ty.nbits - 1) == 0:
+                pos = PBin("and", mixed, PConst(ty.nbits - 1, 64), 64)
+            else:
+                raise ConformanceError(
+                    f"{self.fn.name}: BloomFilter size must be a power of two "
+                    "for the PISA target (modulo is not available)"
+                )
+            prims.append(PAssign(idx_field, pos))
+            if instr.op == "insert":
+                prims.append(PRegWrite(reg, PField(idx_field), PConst(1, 8)))
+            else:
+                bit_field = self.program.add_metadata(
+                    f"k{self.kid}_bf{self._lid(instr)}_b{i}", 8
+                )
+                prims.append(PRegRead(bit_field, reg, PField(idx_field)))
+                results.append(PField(bit_field))
+        if instr.op == "query":
+            acc: PExpr = results[0]
+            for r in results[1:]:
+                acc = PBin("and", acc, r, 8)
+            prims.append(PAssign(self.meta_field(instr), acc))
+
+    # -- memcpy -----------------------------------------------------------------
+
+    def _lower_memcpy(self, instr: ir.Memcpy, prims: List) -> None:
+        nbytes = self._const_index(instr.nbytes, "memcpy length")
+        elem_bytes = sizeof(instr.dst.elem_type)
+        if sizeof(instr.src.elem_type) != elem_bytes:
+            raise ConformanceError(
+                f"{self.fn.name}: memcpy between different element widths"
+            )
+        if nbytes % elem_bytes:
+            raise ConformanceError(
+                f"{self.fn.name}: memcpy length {nbytes} is not a multiple of "
+                f"the element size {elem_bytes}"
+            )
+        count = nbytes // elem_bytes
+        bits = elem_bytes * 8
+        for i in range(count):
+            value_expr = self._region_read_expr(instr.src, instr.src_off, i, bits, prims)
+            self._region_write(instr.dst, instr.dst_off, i, value_expr, prims)
+
+    def _region_read_expr(
+        self, region: ir.MemRegion, off: ir.Value, i: int, bits: int, prims: List
+    ) -> PExpr:
+        if region.kind == "param":
+            base = self._const_index(off, "memcpy window offset")
+            return PField(self.data_field(region.param, base + i))  # type: ignore[arg-type]
+        reg = self._register_for(region.ref)  # type: ignore[arg-type]
+        index = PBin("add", self.expr_of(off), PConst(i, 32), 32)
+        self._uniq_counter += 1
+        tmp = self.program.add_metadata(
+            f"k{self.kid}_cp{self._uniq_counter}", bits
+        )
+        prims.append(PRegRead(tmp, reg, index))
+        return PField(tmp)
+
+    def _region_write(
+        self, region: ir.MemRegion, off: ir.Value, i: int, value: PExpr, prims: List
+    ) -> None:
+        if region.kind == "param":
+            base = self._const_index(off, "memcpy window offset")
+            prims.append(PAssign(self.data_field(region.param, base + i), value))  # type: ignore[arg-type]
+            return
+        reg = self._register_for(region.ref)  # type: ignore[arg-type]
+        index = PBin("add", self.expr_of(off), PConst(i, 32), 32)
+        prims.append(PRegWrite(reg, index, value))
+
+    # -- registers ---------------------------------------------------------------
+
+    def _register_for(self, ref: ir.GlobalRef) -> str:
+        name = f"reg_{ref.name}"
+        if name not in self.program.registers:
+            from repro.ncl.types import BloomFilterType
+
+            if isinstance(ref.ty, BloomFilterType):
+                self.program.add_register(RegisterArray(name, 8, ref.ty.nbits))
+            else:
+                elem = ref.elem_type
+                self.program.add_register(
+                    RegisterArray(
+                        name,
+                        scalar_bits(elem),
+                        ref.total_elements,
+                        signed=is_signed(elem),
+                    )
+                )
+            reg = self.program.registers[name]
+            init = getattr(ref, "init", None)
+            reg.initial = list(init) if init else None  # type: ignore[attr-defined]
+        return name
+
+    # -- control structuring -------------------------------------------------------
+
+    def _mk_action(self, hint: str, prims: List) -> str:
+        name = self._fresh_action(hint)
+        self.program.add_action(Action(name, prims))
+        return name
+
+    def _flush(self, prims: List, nodes: List[ControlNode]) -> None:
+        if prims:
+            nodes.append(Do(self._mk_action("blk", list(prims))))
+            prims.clear()
+
+    def generate(self) -> List[ControlNode]:
+        """Emit this kernel's control subtree (run when ncp.kernel_id
+        matches)."""
+        self._check_acyclic()
+        return self._emit_block(self.fn.entry, frozenset())
+
+    def _check_acyclic(self) -> None:
+        from repro.nir.cfg import natural_loops
+
+        if natural_loops(self.fn):
+            raise CodegenError(
+                f"{self.fn.name}: loops survived unrolling; cannot map to PISA"
+            )
+
+    def _emit_block(self, block: ir.Block, on_path: frozenset) -> List[ControlNode]:
+        if block in on_path:
+            raise CodegenError(f"{self.fn.name}: cycle through {block.label}")
+        self._node_budget -= 1
+        if self._node_budget < 0:
+            raise ConformanceError(
+                f"{self.fn.name}: control-flow expansion exceeds "
+                f"{MAX_CONTROL_NODES} nodes (too much branch duplication)"
+            )
+        nodes: List[ControlNode] = []
+        prims: List = []
+        for instr in block.non_phis():
+            if instr.is_terminator:
+                break
+            self.lower_instr(instr, prims, nodes)
+        term = block.terminator
+        if isinstance(term, ir.Ret):
+            self._flush(prims, nodes)
+            return nodes
+        if isinstance(term, ir.Br):
+            self._emit_edge_phis(block, term.target, prims)
+            self._flush(prims, nodes)
+            nodes.extend(self._emit_block(term.target, on_path | {block}))
+            return nodes
+        if isinstance(term, ir.CondBr):
+            cond_expr = self.expr_of(term.cond)
+            self._flush(prims, nodes)
+            then_prims: List = []
+            self._emit_edge_phis(block, term.then, then_prims)
+            then_nodes: List[ControlNode] = []
+            self._flush(then_prims, then_nodes)
+            then_nodes.extend(self._emit_block(term.then, on_path | {block}))
+            else_prims: List = []
+            self._emit_edge_phis(block, term.other, else_prims)
+            else_nodes: List[ControlNode] = []
+            self._flush(else_prims, else_nodes)
+            else_nodes.extend(self._emit_block(term.other, on_path | {block}))
+            nodes.append(IfNode(cond_expr, then_nodes, else_nodes))
+            return nodes
+        raise CodegenError(f"{self.fn.name}: unterminated block {block.label}")
+
+    def _emit_edge_phis(self, pred: ir.Block, succ: ir.Block, prims: List) -> None:
+        """SSA deconstruction: assign each successor phi its incoming
+        value for this edge."""
+        for phi in succ.phis():
+            for value, inc in phi.incoming:
+                if inc is pred:
+                    prims.append(PAssign(self.meta_field(phi), self.expr_of(value)))
+                    break
+
+
+# ---------------------------------------------------------------------------
+# Whole-switch program assembly (the "template switch configuration")
+# ---------------------------------------------------------------------------
+
+ETH_T = HeaderType("ethernet_t", ETH_FIELDS)
+IPV4_T = HeaderType("ipv4_t", IPV4_FIELDS)
+UDP_T = HeaderType("udp_t", UDP_FIELDS)
+NCP_T = HeaderType("ncp_t", NCP_FIELDS)
+
+
+def build_switch_program(
+    module: ir.Module,
+    kernels: Sequence[Tuple[ir.Function, KernelLayout]],
+    label_ids: Dict[str, int],
+    name: str = "switch",
+) -> P4Program:
+    """Assemble the full per-switch P4 program: template plumbing +
+    per-kernel compute (the paper's "merged with a template switch
+    configuration")."""
+    program = P4Program(name)
+    program.add_metadata("egress_port", 16)
+    program.add_header(ETH_T, "eth")
+    program.add_header(IPV4_T, "ipv4")
+    program.add_header(UDP_T, "udp")
+    program.add_header(NCP_T, "ncp")
+
+    # Per-kernel payload headers.
+    kernel_states: List[Tuple[int, str]] = []
+    deparser = ["eth", "ipv4", "udp", "ncp"]
+    for fn, layout in kernels:
+        hdr_name = f"k{layout.kernel_id}"
+        fields = layout.payload_field_layout()
+        if not fields:
+            fields = [("pad", 8)]
+        program.add_header(HeaderType(f"{hdr_name}_t", fields), hdr_name)
+        kernel_states.append((layout.kernel_id, hdr_name))
+        deparser.append(hdr_name)
+    program.deparser = deparser
+
+    # Parse graph: Ethernet -> IPv4 -> UDP -> NCP -> per-kernel payload.
+    program.parser = [
+        ParseState(
+            "start",
+            extracts=["eth"],
+            select_field="eth.ethertype",
+            transitions=[(ETHERTYPE_IPV4, "parse_ipv4")],
+            default_next="accept",
+        ),
+        ParseState(
+            "parse_ipv4",
+            extracts=["ipv4"],
+            select_field="ipv4.proto",
+            transitions=[(IP_PROTO_UDP, "parse_udp")],
+            default_next="accept",
+        ),
+        ParseState(
+            "parse_udp",
+            extracts=["udp"],
+            select_field="udp.dport",
+            transitions=[(NCP_PORT, "parse_ncp")],
+            default_next="accept",
+        ),
+        ParseState(
+            "parse_ncp",
+            extracts=["ncp"],
+            select_field="ncp.kernel_id",
+            transitions=[(kid, f"parse_k{kid}") for kid, _ in kernel_states],
+            default_next="accept",
+        ),
+    ]
+    for kid, hdr_name in kernel_states:
+        program.parser.append(
+            ParseState(f"parse_k{kid}", extracts=[hdr_name], default_next="accept")
+        )
+
+    # Plain forwarding (normal network operation, Fig 3b bottom path).
+    program.add_action(
+        Action(
+            "ipv4_forward",
+            [PAssign(META_EGRESS, PParam("port", 16))],
+            params=[("port", 16)],
+        )
+    )
+    program.add_action(Action("ipv4_miss", [PAssign(META_FWD, PConst(FWD_DROP, 8))]))
+    program.add_table(
+        Table(
+            "ipv4_route",
+            keys=[("ipv4.dst", "exact")],
+            actions=["ipv4_forward"],
+            default_action="ipv4_miss",
+            managed_by="control-plane",
+            size=4096,
+        )
+    )
+
+    # Kernel dispatch + compute.
+    dispatch: List[ControlNode] = []
+    for fn, layout in kernels:
+        gen = KernelCodegen(program, module, fn, layout, label_ids)
+        subtree = gen.generate()
+        dispatch.append(
+            IfNode(
+                PBin("eq", PField("ncp.kernel_id"), PConst(layout.kernel_id, 16), 16),
+                subtree,
+            )
+        )
+
+    # Reflected windows go back where they came from: swap L2/L3 addresses
+    # so the previous hop delivers the window to the original sender.
+    program.add_metadata("swap_tmp", 48)
+    program.add_action(
+        Action(
+            "reflect_rewrite",
+            [
+                PAssign("meta.swap_tmp", PField("ipv4.src")),
+                PAssign("ipv4.src", PField("ipv4.dst")),
+                PAssign("ipv4.dst", PField("meta.swap_tmp")),
+                PAssign("meta.swap_tmp", PField("eth.src")),
+                PAssign("eth.src", PField("eth.dst")),
+                PAssign("eth.dst", PField("meta.swap_tmp")),
+            ],
+        )
+    )
+
+    program.control = [
+        IfNode(
+            PField("valid.ncp"),
+            dispatch,
+            [Apply("ipv4_route")],
+        ),
+        # NCP windows that pass through still need normal forwarding;
+        # reflected ones get their addresses swapped first.
+        IfNode(
+            PField("valid.ncp"),
+            [
+                IfNode(
+                    PBin("eq", PField(META_FWD), PConst(FWD_PASS, 8), 8),
+                    [Apply("ipv4_route")],
+                ),
+                IfNode(
+                    PBin("eq", PField(META_FWD), PConst(FWD_REFLECT, 8), 8),
+                    [Do("reflect_rewrite")],
+                ),
+            ],
+        ),
+    ]
+    program.validate()
+    return program

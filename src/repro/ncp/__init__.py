@@ -1,0 +1,28 @@
+"""NCP: the Net Compute Protocol -- window transport + execution context."""
+
+from repro.ncp.window import Window, Windower
+from repro.ncp.wire import (
+    ChunkLayout,
+    DecodedFrame,
+    KernelLayout,
+    NCP_MAGIC,
+    NCP_PORT,
+    decode_frame,
+    encode_frame,
+    is_ncp_frame,
+    layout_for_kernel,
+)
+
+__all__ = [
+    "ChunkLayout",
+    "DecodedFrame",
+    "KernelLayout",
+    "NCP_MAGIC",
+    "NCP_PORT",
+    "Window",
+    "Windower",
+    "decode_frame",
+    "encode_frame",
+    "is_ncp_frame",
+    "layout_for_kernel",
+]

@@ -1,0 +1,353 @@
+"""NCP wire format.
+
+NCP (Net Compute Protocol, paper S3.2) is the window transport: besides
+moving window data it "encodes kernel execution context" -- which kernel
+to execute, the window sequence number, the sender, and any user-defined
+window-struct extension fields.
+
+Frame layout (prototype scope: one window per packet, over UDP)::
+
+    Ethernet | IPv4 | UDP(dport=NCP_PORT) | NCP fixed | ext fields | data
+
+The same (name, bits) layouts drive three consumers:
+
+* the host-side codec in this module (:func:`encode_frame` /
+  :func:`decode_frame`);
+* nclc's generated parser spec (:func:`ncp_parse_states`), so the switch
+  parses exactly what hosts emit;
+* the KernelLayout registry the runtime uses to frame windows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import NcpError
+from repro.ncl.types import PointerType, Type, is_signed, scalar_bits
+from repro.util import intops
+from repro.util.bits import BitReader, BitWriter, pack_fields, unpack_fields
+
+# -- constants -----------------------------------------------------------------
+
+ETHERTYPE_IPV4 = 0x0800
+IP_PROTO_UDP = 17
+NCP_PORT = 0x4E43  # 'NC'
+NCP_MAGIC = 0xC317
+NCP_VERSION = 1
+
+FLAG_LAST = 0x01
+
+ETH_FIELDS: List[Tuple[str, int]] = [("dst", 48), ("src", 48), ("ethertype", 16)]
+IPV4_FIELDS: List[Tuple[str, int]] = [
+    ("version_ihl", 8),
+    ("tos", 8),
+    ("total_len", 16),
+    ("ident", 16),
+    ("flags_frag", 16),
+    ("ttl", 8),
+    ("proto", 8),
+    ("checksum", 16),
+    ("src", 32),
+    ("dst", 32),
+]
+UDP_FIELDS: List[Tuple[str, int]] = [
+    ("sport", 16),
+    ("dport", 16),
+    ("length", 16),
+    ("checksum", 16),
+]
+NCP_FIELDS: List[Tuple[str, int]] = [
+    ("magic", 16),
+    ("version", 8),
+    ("flags", 8),
+    ("kernel_id", 16),
+    ("from_node", 16),
+    ("seq", 32),
+]
+
+IPV4_VERSION_IHL = 0x45
+DEFAULT_TTL = 64
+
+
+def node_ip(node_id: int) -> int:
+    """Deterministic IPv4 address for a node id: 10.0.x.y."""
+    return (10 << 24) | (node_id & 0xFFFF)
+
+
+def node_mac(node_id: int) -> int:
+    return (0x02 << 40) | (node_id & 0xFFFF)
+
+
+# -- kernel layouts ----------------------------------------------------------------
+
+
+class ChunkLayout:
+    """One parameter's slice of a window: ``count`` elements of
+    ``bits``-wide (``signed``?) integers."""
+
+    __slots__ = ("name", "count", "bits", "signed")
+
+    def __init__(self, name: str, count: int, bits: int, signed: bool):
+        if count <= 0:
+            raise NcpError(f"chunk {name!r}: count must be positive")
+        if bits not in (8, 16, 32, 64):
+            raise NcpError(f"chunk {name!r}: unsupported element width {bits}")
+        self.name = name
+        self.count = count
+        self.bits = bits
+        self.signed = signed
+
+    @property
+    def bytes(self) -> int:
+        return self.count * self.bits // 8
+
+    def __repr__(self) -> str:
+        return f"ChunkLayout({self.name} x{self.count} @{self.bits}b)"
+
+
+class KernelLayout:
+    """The on-the-wire shape of one kernel's windows.
+
+    Derived from the kernel signature plus the window mask: parameter *i*
+    contributes ``mask[i]`` elements per window (paper S4.2: "a mask with
+    the number of elements from each array ... its length must always
+    match the number of pointers in an _out_ kernel's signature").
+    Scalar parameters contribute one element regardless.
+    """
+
+    def __init__(
+        self,
+        kernel_id: int,
+        kernel_name: str,
+        chunks: Sequence[ChunkLayout],
+        ext_fields: Sequence[Tuple[str, int, bool]] = (),
+    ):
+        self.kernel_id = kernel_id
+        self.kernel_name = kernel_name
+        self.chunks = list(chunks)
+        self.ext_fields = [(n, b, s) for n, b, s in ext_fields]
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(c.bytes for c in self.chunks)
+
+    @property
+    def ext_bytes(self) -> int:
+        return sum(b for _, b, _ in self.ext_fields) // 8
+
+    def payload_field_layout(self) -> List[Tuple[str, int]]:
+        """(name, bits) list for ext fields + data elements; also the
+        field layout of the generated per-kernel P4 header."""
+        fields: List[Tuple[str, int]] = [
+            (f"x_{name}", bits) for name, bits, _ in self.ext_fields
+        ]
+        for ci, chunk in enumerate(self.chunks):
+            fields.extend(
+                (f"d{ci}_{ei}", chunk.bits) for ei in range(chunk.count)
+            )
+        return fields
+
+    def __repr__(self) -> str:
+        return f"KernelLayout(#{self.kernel_id} {self.kernel_name}, {self.chunks})"
+
+
+def layout_for_kernel(
+    kernel_id: int,
+    kernel_name: str,
+    param_types: Sequence[Tuple[str, Type]],
+    mask: Sequence[int],
+    ext_fields: Sequence[Tuple[str, Type]] = (),
+) -> KernelLayout:
+    """Build a KernelLayout from NCL types + a window mask."""
+    if len(mask) != len(param_types):
+        raise NcpError(
+            f"mask length {len(mask)} != number of window-data parameters "
+            f"{len(param_types)}"
+        )
+    chunks = []
+    for (name, ty), count in zip(param_types, mask):
+        if isinstance(ty, PointerType):
+            elem = ty.pointee
+        else:
+            elem = ty
+            if count != 1:
+                raise NcpError(
+                    f"scalar parameter {name!r} must have mask entry 1, got {count}"
+                )
+        chunks.append(ChunkLayout(name, count, scalar_bits(elem), is_signed(elem)))
+    ext = [(n, scalar_bits(t), is_signed(t)) for n, t in ext_fields]
+    return KernelLayout(kernel_id, kernel_name, chunks, ext)
+
+
+# -- frame codec --------------------------------------------------------------------
+
+
+def encode_frame(
+    layout: KernelLayout,
+    src_node: int,
+    dst_node: int,
+    seq: int,
+    chunks: Sequence[Sequence[int]],
+    ext_values: Optional[Dict[str, int]] = None,
+    last: bool = False,
+    from_node: Optional[int] = None,
+) -> bytes:
+    """Serialize one window into a full Ethernet/IPv4/UDP/NCP frame."""
+    if len(chunks) != len(layout.chunks):
+        raise NcpError(
+            f"expected {len(layout.chunks)} chunks, got {len(chunks)}"
+        )
+    writer = BitWriter()
+    ext_values = dict(ext_values or {})
+
+    payload = BitWriter()
+    for name, bits, _signed in layout.ext_fields:
+        if name not in ext_values:
+            raise NcpError(f"missing window extension field {name!r}")
+        payload.write(intops.to_unsigned(int(ext_values[name]), bits), bits)
+    for chunk_layout, values in zip(layout.chunks, chunks):
+        if len(values) != chunk_layout.count:
+            raise NcpError(
+                f"chunk {chunk_layout.name!r}: expected {chunk_layout.count} "
+                f"elements, got {len(values)}"
+            )
+        for v in values:
+            payload.write(intops.to_unsigned(int(v), chunk_layout.bits), chunk_layout.bits)
+    payload_bytes = payload.to_bytes()
+
+    ncp_bytes = pack_fields(
+        NCP_FIELDS,
+        {
+            "magic": NCP_MAGIC,
+            "version": NCP_VERSION,
+            "flags": FLAG_LAST if last else 0,
+            "kernel_id": layout.kernel_id,
+            "from_node": src_node if from_node is None else from_node,
+            "seq": seq,
+        },
+    )
+    udp_len = 8 + len(ncp_bytes) + len(payload_bytes)
+    udp_bytes = pack_fields(
+        UDP_FIELDS,
+        {"sport": NCP_PORT, "dport": NCP_PORT, "length": udp_len, "checksum": 0},
+    )
+    ip_bytes = pack_fields(
+        IPV4_FIELDS,
+        {
+            "version_ihl": IPV4_VERSION_IHL,
+            "tos": 0,
+            "total_len": 20 + udp_len,
+            "ident": seq & 0xFFFF,
+            "flags_frag": 0,
+            "ttl": DEFAULT_TTL,
+            "proto": IP_PROTO_UDP,
+            "checksum": 0,
+            "src": node_ip(src_node),
+            "dst": node_ip(dst_node),
+        },
+    )
+    eth_bytes = pack_fields(
+        ETH_FIELDS,
+        {
+            "dst": node_mac(dst_node),
+            "src": node_mac(src_node),
+            "ethertype": ETHERTYPE_IPV4,
+        },
+    )
+    return eth_bytes + ip_bytes + udp_bytes + ncp_bytes + payload_bytes
+
+
+class DecodedFrame:
+    """A parsed NCP frame."""
+
+    def __init__(
+        self,
+        src_node: int,
+        dst_node: int,
+        kernel_id: int,
+        from_node: int,
+        seq: int,
+        last: bool,
+        ext: Dict[str, int],
+        chunks: List[List[int]],
+    ):
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.kernel_id = kernel_id
+        self.from_node = from_node
+        self.seq = seq
+        self.last = last
+        self.ext = ext
+        self.chunks = chunks
+
+    def __repr__(self) -> str:
+        return (
+            f"DecodedFrame(k{self.kernel_id} seq={self.seq} from={self.from_node} "
+            f"last={self.last})"
+        )
+
+
+def is_ncp_frame(data: bytes) -> bool:
+    """Cheap check mirroring the switch parser's NCP recognition."""
+    try:
+        eth, rest = unpack_fields(ETH_FIELDS, data)
+        if eth["ethertype"] != ETHERTYPE_IPV4:
+            return False
+        ip, rest = unpack_fields(IPV4_FIELDS, rest)
+        if ip["proto"] != IP_PROTO_UDP:
+            return False
+        udp, rest = unpack_fields(UDP_FIELDS, rest)
+        if udp["dport"] != NCP_PORT:
+            return False
+        ncp, _ = unpack_fields(NCP_FIELDS, rest)
+        return ncp["magic"] == NCP_MAGIC
+    except Exception:
+        return False
+
+
+def decode_frame(
+    data: bytes, layouts: Dict[int, KernelLayout]
+) -> DecodedFrame:
+    """Parse a full frame; dispatches the payload layout on kernel_id."""
+    eth, rest = unpack_fields(ETH_FIELDS, data)
+    if eth["ethertype"] != ETHERTYPE_IPV4:
+        raise NcpError(f"not IPv4 (ethertype {eth['ethertype']:#x})")
+    ip, rest = unpack_fields(IPV4_FIELDS, rest)
+    if ip["proto"] != IP_PROTO_UDP:
+        raise NcpError(f"not UDP (proto {ip['proto']})")
+    udp, rest = unpack_fields(UDP_FIELDS, rest)
+    if udp["dport"] != NCP_PORT:
+        raise NcpError(f"not an NCP port ({udp['dport']})")
+    ncp, rest = unpack_fields(NCP_FIELDS, rest)
+    if ncp["magic"] != NCP_MAGIC:
+        raise NcpError(f"bad NCP magic {ncp['magic']:#x}")
+    if ncp["version"] != NCP_VERSION:
+        raise NcpError(f"unsupported NCP version {ncp['version']}")
+    kernel_id = ncp["kernel_id"]
+    layout = layouts.get(kernel_id)
+    if layout is None:
+        raise NcpError(f"unknown kernel id {kernel_id}")
+
+    reader = BitReader(rest)
+    ext: Dict[str, int] = {}
+    for name, bits, signed in layout.ext_fields:
+        raw = reader.read(bits)
+        ext[name] = intops.wrap(raw, bits, signed)
+    chunks: List[List[int]] = []
+    for chunk_layout in layout.chunks:
+        values = [
+            intops.wrap(reader.read(chunk_layout.bits), chunk_layout.bits, chunk_layout.signed)
+            for _ in range(chunk_layout.count)
+        ]
+        chunks.append(values)
+
+    return DecodedFrame(
+        src_node=ip["src"] & 0xFFFF,
+        dst_node=ip["dst"] & 0xFFFF,
+        kernel_id=kernel_id,
+        from_node=ncp["from_node"],
+        seq=ncp["seq"],
+        last=bool(ncp["flags"] & FLAG_LAST),
+        ext=ext,
+        chunks=chunks,
+    )

@@ -1,0 +1,20 @@
+"""Discrete-event network simulator: hosts, links, PISA switch nodes."""
+
+from repro.net.events import Simulator
+from repro.net.link import Link
+from repro.net.network import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Network, star_network
+from repro.net.node import HostNode, Node, PythonSwitchNode
+from repro.net.pisanode import PisaSwitchNode
+
+__all__ = [
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_LATENCY",
+    "HostNode",
+    "Link",
+    "Network",
+    "Node",
+    "PisaSwitchNode",
+    "PythonSwitchNode",
+    "Simulator",
+    "star_network",
+]

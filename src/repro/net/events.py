@@ -1,0 +1,79 @@
+"""Discrete-event simulation core."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Simulator:
+    """A minimal discrete-event scheduler.
+
+    Events are (time, tiebreak-seq, callback) triples on a heap; the
+    tiebreak keeps simultaneous events in schedule order, which makes
+    runs fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self.events_processed = 0
+
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        if when < self._now:
+            raise SimulationError(f"cannot schedule at {when} < now {self._now}")
+        heapq.heappush(self._queue, (when, next(self._seq), callback))
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Drain the queue (optionally up to simulated time *until*).
+
+        Returns the simulation time when processing stopped.
+        """
+        processed = 0
+        while self._queue:
+            when, _, callback = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = when
+            callback()
+            processed += 1
+            self.events_processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events (livelock?)"
+                )
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_until_idle(self) -> float:
+        return self.run()
+
+    def step(self) -> bool:
+        """Process exactly one event. Returns False when the queue is empty
+        (used by blocking host APIs that co-simulate the network)."""
+        if not self._queue:
+            return False
+        when, _, callback = heapq.heappop(self._queue)
+        self._now = when
+        callback()
+        self.events_processed += 1
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,84 @@
+"""Point-to-point links with latency, bandwidth and optional loss."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.net.node import Node
+    from repro.net.events import Simulator
+
+
+class LinkStats:
+    __slots__ = ("frames", "bytes", "drops", "busy_time")
+
+    def __init__(self) -> None:
+        self.frames = 0
+        self.bytes = 0
+        self.drops = 0
+        self.busy_time = 0.0
+
+
+class Link:
+    """A full-duplex link between two node ports.
+
+    Serialization delay is ``size / bandwidth`` and each direction has an
+    independent transmit queue (``free_at``): frames queue behind one
+    another, which is what creates incast congestion at a ToR in the
+    AllReduce benchmarks.
+    """
+
+    def __init__(
+        self,
+        a: "Node",
+        b: "Node",
+        latency: float = 1e-6,
+        bandwidth: float = 10e9,  # bits/s
+        loss: float = 0.0,
+        seed: int = 0,
+    ):
+        if bandwidth <= 0:
+            raise SimulationError("bandwidth must be positive")
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.loss = loss
+        self._rng = random.Random(seed)
+        self._free_at = {a: 0.0, b: 0.0}
+        self.stats = LinkStats()
+        self.port_at = {
+            a: a.attach_link(self),
+            b: b.attach_link(self),
+        }
+
+    def other(self, node: "Node") -> "Node":
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise SimulationError(f"{node} is not attached to this link")
+
+    def transmit(self, sim: "Simulator", sender: "Node", data: bytes) -> None:
+        """Send a frame from *sender* to the other end."""
+        receiver = self.other(sender)
+        if self.loss > 0 and self._rng.random() < self.loss:
+            self.stats.drops += 1
+            return
+        size_bits = len(data) * 8
+        serialization = size_bits / self.bandwidth
+        start = max(sim.now(), self._free_at[sender])
+        done = start + serialization
+        self._free_at[sender] = done
+        self.stats.frames += 1
+        self.stats.bytes += len(data)
+        self.stats.busy_time += serialization
+        arrival = done + self.latency
+        in_port = self.port_at[receiver]
+        sim.schedule_at(arrival, lambda: receiver.handle_frame(data, in_port))
+
+    def __repr__(self) -> str:
+        return f"Link({self.a.name} <-> {self.b.name})"

@@ -1,0 +1,160 @@
+"""The simulated network: topology construction, routing, statistics."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import SimulationError
+from repro.andspec.mapping import PhysicalNet
+from repro.net.events import Simulator
+from repro.net.link import Link
+from repro.net.node import HostNode, Node, PythonSwitchNode
+from repro.net.pisanode import PisaSwitchNode
+from repro.pisa.switch_dev import PisaSwitch
+
+#: default link parameters (10 GbE, 1 us propagation)
+DEFAULT_BANDWIDTH = 10e9
+DEFAULT_LATENCY = 1e-6
+
+
+class Network:
+    """A concrete simulated network of hosts and switches."""
+
+    def __init__(self, sim: Optional[Simulator] = None):
+        self.sim = sim or Simulator()
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[Link] = []
+        self._next_id = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def _claim_id(self, node_id: Optional[int]) -> int:
+        if node_id is None:
+            node_id = self._next_id
+        self._next_id = max(self._next_id, node_id + 1)
+        return node_id
+
+    def _register(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise SimulationError(f"duplicate node name {node.name!r}")
+        if any(n.node_id == node.node_id for n in self.nodes.values()):
+            raise SimulationError(f"duplicate node id {node.node_id}")
+        self.nodes[node.name] = node
+        return node
+
+    def add_host(self, name: str, node_id: Optional[int] = None) -> HostNode:
+        host = HostNode(name, self._claim_id(node_id), self.sim)
+        self._register(host)
+        return host
+
+    def add_pisa_switch(
+        self, name: str, switch: PisaSwitch, node_id: Optional[int] = None
+    ) -> PisaSwitchNode:
+        node = PisaSwitchNode(name, self._claim_id(node_id), self.sim, switch)
+        self._register(node)
+        return node
+
+    def add_python_switch(
+        self, name: str, program: Callable, node_id: Optional[int] = None
+    ) -> PythonSwitchNode:
+        node = PythonSwitchNode(name, self._claim_id(node_id), self.sim, program)
+        self._register(node)
+        return node
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        latency: float = DEFAULT_LATENCY,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        loss: float = 0.0,
+        seed: int = 0,
+    ) -> Link:
+        if a not in self.nodes or b not in self.nodes:
+            raise SimulationError(f"link endpoints must exist: {a!r}, {b!r}")
+        link = Link(self.nodes[a], self.nodes[b], latency, bandwidth, loss, seed)
+        self.links.append(link)
+        return link
+
+    # -- routing -------------------------------------------------------------------
+
+    def graph(self) -> nx.Graph:
+        g = nx.Graph()
+        for node in self.nodes.values():
+            g.add_node(node.name, kind="host" if isinstance(node, HostNode) else "switch")
+        for link in self.links:
+            g.add_edge(link.a.name, link.b.name, link=link)
+        return g
+
+    def compute_routes(self) -> None:
+        """Install next-hop routes (and P4 route entries on PISA switches)
+        for every node pair, via shortest paths."""
+        g = self.graph()
+        for src_name, src in self.nodes.items():
+            paths = nx.single_source_shortest_path(g, src_name)
+            for dst_name, path in paths.items():
+                if dst_name == src_name or len(path) < 2:
+                    continue
+                dst = self.nodes[dst_name]
+                next_hop = self.nodes[path[1]]
+                port = self._port_toward(src, next_hop)
+                if isinstance(src, PisaSwitchNode):
+                    src.install_route(dst.node_id, port)
+                else:
+                    src.routes[dst.node_id] = port
+
+    def _port_toward(self, node: Node, neighbor: Node) -> int:
+        for port, link in enumerate(node.links):
+            if link.other(node) is neighbor:
+                return port
+        raise SimulationError(f"{node.name} has no link to {neighbor.name}")
+
+    # -- queries ---------------------------------------------------------------------
+
+    def host(self, name: str) -> HostNode:
+        node = self.nodes.get(name)
+        if not isinstance(node, HostNode):
+            raise SimulationError(f"{name!r} is not a host")
+        return node
+
+    def node_by_id(self, node_id: int) -> Node:
+        for node in self.nodes.values():
+            if node.node_id == node_id:
+                return node
+        raise SimulationError(f"no node with id {node_id}")
+
+    def to_physical(self) -> PhysicalNet:
+        """Expose the topology to the AND mapper."""
+        phys = PhysicalNet()
+        for node in self.nodes.values():
+            if isinstance(node, HostNode):
+                phys.add_host(node.name)
+            else:
+                phys.add_switch(node.name)
+        for link in self.links:
+            phys.add_link(link.a.name, link.b.name)
+        return phys
+
+    def total_bytes_on_links(self) -> int:
+        return sum(link.stats.bytes for link in self.links)
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until)
+
+
+def star_network(
+    n_hosts: int,
+    make_switch: Callable[[Network], Node],
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    latency: float = DEFAULT_LATENCY,
+) -> Tuple[Network, List[HostNode]]:
+    """Hosts around one ToR switch -- the Fig 4 AllReduce topology."""
+    net = Network()
+    hosts = [net.add_host(f"h{i}") for i in range(n_hosts)]
+    switch = make_switch(net)
+    for host in hosts:
+        net.add_link(host.name, switch.name, latency=latency, bandwidth=bandwidth)
+    net.compute_routes()
+    return net, hosts

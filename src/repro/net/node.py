@@ -1,0 +1,139 @@
+"""Network nodes: the common base, hosts, and switch wrappers."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.ncp.wire import is_ncp_frame
+
+if TYPE_CHECKING:
+    from repro.net.events import Simulator
+    from repro.net.link import Link
+
+
+class NodeStats:
+    __slots__ = ("rx_frames", "rx_bytes", "tx_frames", "tx_bytes", "drops", "processed")
+
+    def __init__(self) -> None:
+        self.rx_frames = 0
+        self.rx_bytes = 0
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.drops = 0
+        self.processed = 0
+
+
+class Node:
+    """Base network node with numbered ports."""
+
+    def __init__(self, name: str, node_id: int, sim: "Simulator"):
+        self.name = name
+        self.node_id = node_id
+        self.sim = sim
+        self.links: List["Link"] = []
+        #: next-hop port by destination node id (installed at deploy time)
+        self.routes: Dict[int, int] = {}
+        self.stats = NodeStats()
+
+    def attach_link(self, link: "Link") -> int:
+        self.links.append(link)
+        return len(self.links) - 1
+
+    def send(self, data: bytes, port: int) -> None:
+        if not 0 <= port < len(self.links):
+            raise SimulationError(f"{self.name}: no port {port}")
+        self.stats.tx_frames += 1
+        self.stats.tx_bytes += len(data)
+        self.links[port].transmit(self.sim, self, data)
+
+    def send_toward(self, data: bytes, dst_node_id: int) -> None:
+        port = self.routes.get(dst_node_id)
+        if port is None:
+            raise SimulationError(
+                f"{self.name}: no route toward node {dst_node_id}"
+            )
+        self.send(data, port)
+
+    def handle_frame(self, data: bytes, in_port: int) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}#{self.node_id})"
+
+
+class HostNode(Node):
+    """An end host: delivers frames to a bound receiver callback.
+
+    The libncrt host runtime binds :attr:`receiver`; frames arriving
+    before a receiver is bound are counted as drops (like an unbound
+    UDP port).
+    """
+
+    #: model of the host networking stack's per-frame processing delay
+    PROCESS_DELAY = 2e-6
+
+    def __init__(self, name: str, node_id: int, sim: "Simulator"):
+        super().__init__(name, node_id, sim)
+        self.receiver: Optional[Callable[[bytes], None]] = None
+
+    def handle_frame(self, data: bytes, in_port: int) -> None:
+        self.stats.rx_frames += 1
+        self.stats.rx_bytes += len(data)
+        if self.receiver is None:
+            self.stats.drops += 1
+            return
+        receiver = self.receiver
+        self.sim.schedule(self.PROCESS_DELAY, lambda: receiver(data))
+
+    def transmit(self, data: bytes, dst_node_id: int) -> None:
+        """Send a frame toward a destination (single-homed hosts just use
+        their uplink)."""
+        self.stats.processed += 1
+        if dst_node_id in self.routes:
+            self.send_toward(data, dst_node_id)
+        elif len(self.links) == 1:
+            self.send(data, 0)
+        else:
+            raise SimulationError(
+                f"{self.name}: multi-homed host needs a route to {dst_node_id}"
+            )
+
+
+class PythonSwitchNode(Node):
+    """A switch running an arbitrary Python data-plane function.
+
+    Used by the hand-written baselines (e.g. the Fig 1b NetCache sketch)
+    and by tests. The function receives (data, in_port, node) and returns
+    a list of (out_port, data) transmissions; out_port -1 broadcasts to
+    every port except the ingress.
+    """
+
+    PIPELINE_DELAY = 1e-6
+
+    def __init__(
+        self,
+        name: str,
+        node_id: int,
+        sim: "Simulator",
+        program: Callable[[bytes, int, "PythonSwitchNode"], List],
+    ):
+        super().__init__(name, node_id, sim)
+        self.program = program
+
+    def handle_frame(self, data: bytes, in_port: int) -> None:
+        self.stats.rx_frames += 1
+        self.stats.rx_bytes += len(data)
+        self.stats.processed += 1
+
+        def run() -> None:
+            outputs = self.program(data, in_port, self)
+            for out_port, out_data in outputs:
+                if out_port == -1:
+                    for port in range(len(self.links)):
+                        if port != in_port:
+                            self.send(out_data, port)
+                else:
+                    self.send(out_data, out_port)
+
+        self.sim.schedule(self.PIPELINE_DELAY, run)

@@ -1,0 +1,81 @@
+"""The network-simulator node hosting a compiled PISA switch."""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.net.node import Node
+from repro.pisa.switch_dev import PisaSwitch
+
+if TYPE_CHECKING:
+    from repro.net.events import Simulator
+
+
+class PisaSwitchNode(Node):
+    """Wraps a :class:`PisaSwitch` and realizes its forwarding verdicts:
+
+    * ``pass``   -> out the port chosen by the P4 ``ipv4_route`` table
+      (``meta.egress_port``), or toward the ``_pass(label)`` target;
+    * ``drop``   -> consumed;
+    * ``bcast``  -> out every port except the ingress (the overlay
+      neighbors, for ToR-style deployments -- paper S4.1);
+    * ``reflect``-> back out the ingress port (addresses were swapped by
+      the template's ``reflect_rewrite`` action).
+    """
+
+    PIPELINE_DELAY = 1e-6
+
+    def __init__(self, name: str, node_id: int, sim: "Simulator", switch: PisaSwitch):
+        super().__init__(name, node_id, sim)
+        self.switch = switch
+
+    def install_route(self, dst_node_id: int, port: int) -> None:
+        """Install both the simulator next-hop and the P4 table entry."""
+        from repro.ncp.wire import node_ip
+
+        self.routes[dst_node_id] = port
+        if "ipv4_route" in self.switch.program.tables:
+            self.switch.table_insert(
+                "ipv4_route", [node_ip(dst_node_id)], "ipv4_forward", [port]
+            )
+
+    def handle_frame(self, data: bytes, in_port: int) -> None:
+        self.stats.rx_frames += 1
+        self.stats.rx_bytes += len(data)
+
+        def run() -> None:
+            self.stats.processed += 1
+            result = self.switch.process(data, in_port)
+            verdict = result.verdict
+            if verdict == "drop":
+                self.stats.drops += 1
+                return
+            if verdict == "bcast":
+                # "_bcast() sends a window to all devices, one hop away -- in
+                # the overlay -- from the current location" (S4.1): that
+                # includes the neighbor it arrived from.
+                for port in range(len(self.links)):
+                    self.send(result.data, port)
+                return
+            if verdict == "reflect":
+                self.send(result.data, in_port)
+                return
+            # pass: a labelled pass overrides normal routing.
+            if result.label_id is not None:
+                port = self.routes.get(result.label_id)
+                if port is None:
+                    raise SimulationError(
+                        f"{self.name}: _pass toward unknown node "
+                        f"{result.label_id}"
+                    )
+                self.send(result.data, port)
+                return
+            egress = result.phv.read("meta.egress_port")
+            if egress >= len(self.links):
+                # Route miss left the default egress; treat as drop.
+                self.stats.drops += 1
+                return
+            self.send(result.data, egress)
+
+        self.sim.schedule(self.PIPELINE_DELAY, run)

@@ -1,0 +1,147 @@
+"""SSA construction (mem2reg) for NIR.
+
+Promotes scalar ``Alloca`` slots to SSA registers using the classic
+algorithm: phi insertion at iterated dominance frontiers of the stores,
+then a renaming walk over the dominator tree.
+
+All NCL locals are scalars (sema rejects local arrays in kernels), and
+the lowering only ever touches allocas through ``Load``/``Store``, so
+every alloca is promotable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.nir import ir
+from repro.nir.cfg import DominatorTree
+
+
+def promote_allocas(fn: ir.Function) -> int:
+    """Promote all allocas in *fn* to SSA form. Returns #promoted."""
+    allocas = [i for i in fn.instructions() if isinstance(i, ir.Alloca)]
+    if not allocas:
+        return 0
+    dom = DominatorTree(fn)
+    phi_owner: Dict[ir.Phi, ir.Alloca] = {}
+
+    # 1. Phi insertion at iterated dominance frontiers.
+    for alloca in allocas:
+        def_blocks: Set[ir.Block] = {
+            instr.block
+            for instr in fn.instructions()
+            if isinstance(instr, ir.Store) and instr.slot is alloca and instr.block
+        }
+        placed: Set[ir.Block] = set()
+        work = list(def_blocks)
+        while work:
+            block = work.pop()
+            for frontier in dom.frontiers.get(block, ()):
+                if frontier in placed:
+                    continue
+                placed.add(frontier)
+                phi = ir.Phi(alloca.slot_ty)
+                phi.block = frontier
+                frontier.instrs.insert(0, phi)
+                phi_owner[phi] = alloca
+                if frontier not in def_blocks:
+                    def_blocks.add(frontier)
+                    work.append(frontier)
+
+    # 2. Renaming walk.
+    stacks: Dict[ir.Alloca, List[ir.Value]] = {a: [] for a in allocas}
+    replacements: Dict[ir.Instr, ir.Value] = {}
+
+    def current(alloca: ir.Alloca) -> ir.Value:
+        stack = stacks[alloca]
+        return stack[-1] if stack else ir.Undef(alloca.slot_ty)
+
+    def rename(block: ir.Block) -> None:
+        pushed: Dict[ir.Alloca, int] = {}
+        new_instrs: List[ir.Instr] = []
+        for instr in block.instrs:
+            if isinstance(instr, ir.Phi) and instr in phi_owner:
+                alloca = phi_owner[instr]
+                stacks[alloca].append(instr)
+                pushed[alloca] = pushed.get(alloca, 0) + 1
+                new_instrs.append(instr)
+            elif isinstance(instr, ir.Load) and instr.slot in stacks:
+                replacements[instr] = current(instr.slot)
+            elif isinstance(instr, ir.Store) and instr.slot in stacks:
+                value = instr.value
+                value = replacements.get(value, value) if isinstance(value, ir.Instr) else value
+                stacks[instr.slot].append(value)
+                pushed[instr.slot] = pushed.get(instr.slot, 0) + 1
+            elif isinstance(instr, ir.Alloca) and instr in stacks:
+                pass  # dropped
+            else:
+                _rewrite_operands(instr, replacements)
+                new_instrs.append(instr)
+        block.instrs = new_instrs
+
+        for succ in block.successors():
+            for phi in succ.phis():
+                if phi in phi_owner:
+                    phi.add_incoming(current(phi_owner[phi]), block)
+
+        for child in dom.children.get(block, ()):
+            rename(child)
+
+        for alloca, count in pushed.items():
+            del stacks[alloca][-count:]
+
+    rename(fn.entry)
+
+    # 3. Any remaining references (e.g. phis fed by loads renamed later)
+    #    were already rewritten during the walk via `replacements`, but phi
+    #    incomings added before a replacement landed need a second pass.
+    for block in fn.blocks:
+        for instr in block.instrs:
+            _rewrite_operands(instr, replacements)
+
+    # Prune trivial phis (single unique incoming value) repeatedly.
+    _prune_trivial_phis(fn, set(phi_owner))
+    return len(allocas)
+
+
+def _rewrite_operands(instr: ir.Instr, replacements: Dict[ir.Instr, ir.Value]) -> None:
+    changed = True
+    while changed:
+        changed = False
+        for idx, op in enumerate(instr.operands):
+            if isinstance(op, ir.Instr) and op in replacements:
+                new = replacements[op]
+                instr.operands[idx] = new
+                if isinstance(instr, ir.Phi):
+                    instr.incoming[idx] = (new, instr.incoming[idx][1])
+                changed = True
+
+
+def _prune_trivial_phis(fn: ir.Function, candidate_phis: Set[ir.Phi]) -> None:
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            for phi in list(block.phis()):
+                values = [
+                    v for v, _ in phi.incoming if v is not phi and not isinstance(v, ir.Undef)
+                ]
+                unique: List[ir.Value] = []
+                for v in values:
+                    if not any(_same_value(v, u) for u in unique):
+                        unique.append(v)
+                if len(unique) == 1:
+                    replacement = unique[0]
+                    for b in fn.blocks:
+                        for instr in b.instrs:
+                            instr.replace_operand(phi, replacement)
+                    block.instrs.remove(phi)
+                    changed = True
+
+
+def _same_value(a: ir.Value, b: ir.Value) -> bool:
+    if a is b:
+        return True
+    if isinstance(a, ir.Const) and isinstance(b, ir.Const):
+        return a == b
+    return False

@@ -1,0 +1,116 @@
+"""NIR optimization passes and the standard pipelines.
+
+The menu mirrors the paper's S5 "Analysis and optimization" stage:
+loop unrolling, constant folding/propagation, GVN/CSE, DCE, plus CFG
+simplification and always-inlining of helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.nir import ir
+from repro.nir.mem2reg import promote_allocas
+from repro.nir.passes.constfold import fold_constants
+from repro.nir.passes.dce import eliminate_dead_code
+from repro.nir.passes.gvn import global_value_numbering
+from repro.nir.passes.inline import inline_calls
+from repro.nir.passes.memexpand import expand_memcpy
+from repro.nir.passes.regsplit import SplitInfo, split_register_arrays
+from repro.nir.passes.simplify_cfg import simplify_cfg
+from repro.nir.passes.specialize import specialize_location, specialize_window
+from repro.nir.passes.storefwd import forward_stores
+from repro.nir.passes.storemerge import merge_conditional_stores
+from repro.nir.passes.unroll import unroll_loops
+from repro.nir.verify import verify_function
+
+__all__ = [
+    "fold_constants",
+    "eliminate_dead_code",
+    "expand_memcpy",
+    "forward_stores",
+    "merge_conditional_stores",
+    "global_value_numbering",
+    "inline_calls",
+    "simplify_cfg",
+    "specialize_location",
+    "specialize_window",
+    "split_register_arrays",
+    "SplitInfo",
+    "unroll_loops",
+    "promote_allocas",
+    "optimize_host",
+    "optimize_switch",
+    "PassStats",
+]
+
+
+class PassStats:
+    """Per-pass change counters, reported by the Fig 6 compiler bench."""
+
+    def __init__(self) -> None:
+        self.counters: dict = {}
+
+    def add(self, name: str, count: int) -> None:
+        self.counters[name] = self.counters.get(name, 0) + count
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+        return f"PassStats({inner})"
+
+
+def _cleanup(fn: ir.Function, stats: PassStats, verify: bool) -> None:
+    stats.add("constfold", fold_constants(fn))
+    stats.add("simplifycfg", simplify_cfg(fn))
+    stats.add("gvn", global_value_numbering(fn))
+    stats.add("dce", eliminate_dead_code(fn))
+    stats.add("simplifycfg", simplify_cfg(fn))
+    if verify:
+        verify_function(fn)
+
+
+def optimize_host(
+    fn: ir.Function, stats: Optional[PassStats] = None, verify: bool = True
+) -> PassStats:
+    """The host pipeline: SSA + early optimizations, loops kept."""
+    stats = stats or PassStats()
+    stats.add("inline", inline_calls(fn))
+    stats.add("mem2reg", promote_allocas(fn))
+    if verify:
+        verify_function(fn)
+    _cleanup(fn, stats, verify)
+    return stats
+
+
+def optimize_switch(
+    fn: ir.Function,
+    window_spec: Optional[Mapping[str, int]] = None,
+    stats: Optional[PassStats] = None,
+    verify: bool = True,
+    max_trips: int = 4096,
+) -> PassStats:
+    """The device pipeline front half: SSA, specialization, full unroll,
+    then the scalar optimizations. After this the CFG is acyclic and
+    ready for PISA lowering."""
+    stats = stats or PassStats()
+    stats.add("inline", inline_calls(fn))
+    stats.add("mem2reg", promote_allocas(fn))
+    if verify:
+        verify_function(fn)
+    if window_spec:
+        stats.add("specialize-window", specialize_window(fn, window_spec))
+    _cleanup(fn, stats, verify)
+    stats.add("unroll", unroll_loops(fn, max_trips=max_trips))
+    if verify:
+        verify_function(fn)
+    _cleanup(fn, stats, verify)
+    # Post-unroll memory optimizations: expose memcpy element accesses,
+    # forward stored values into re-reads (cuts register accesses), clean.
+    stats.add("memexpand", expand_memcpy(fn))
+    stats.add("storefwd", forward_stores(fn))
+    stats.add("storemerge", merge_conditional_stores(fn))
+    stats.add("storefwd", forward_stores(fn))
+    if verify:
+        verify_function(fn)
+    _cleanup(fn, stats, verify)
+    return stats

@@ -1,0 +1,61 @@
+"""Dead code elimination.
+
+Removes pure instructions whose results are never used, iterating until
+a fixed point (removing a use can make its operands dead too).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.nir import ir
+
+#: Instruction classes that are pure (safe to delete when unused).
+_PURE = (
+    ir.BinOp,
+    ir.UnOp,
+    ir.Cast,
+    ir.Select,
+    ir.Load,
+    ir.LoadElem,
+    ir.LoadParam,
+    ir.WinField,
+    ir.LocField,
+    ir.LocLabel,
+    ir.CtrlRead,
+    ir.MapLookup,
+    ir.MapFound,
+    ir.MapValue,
+    ir.Phi,
+)
+
+
+def eliminate_dead_code(fn: ir.Function) -> int:
+    """Remove unused pure instructions. Returns number removed."""
+    removed_total = 0
+    while True:
+        used: Set[int] = set()
+        for block in fn.blocks:
+            for instr in block.instrs:
+                for op in instr.operands:
+                    if isinstance(op, ir.Instr):
+                        used.add(op.id)
+        removed = 0
+        for block in fn.blocks:
+            keep = []
+            for instr in block.instrs:
+                is_dead = (
+                    isinstance(instr, _PURE)
+                    and instr.id not in used
+                    and not instr.is_terminator
+                )
+                if isinstance(instr, ir.BloomOp) and instr.op == "query":
+                    is_dead = instr.id not in used
+                if is_dead:
+                    removed += 1
+                else:
+                    keep.append(instr)
+            block.instrs = keep
+        removed_total += removed
+        if removed == 0:
+            return removed_total

@@ -1,0 +1,247 @@
+"""Global value numbering / common subexpression elimination.
+
+Three cooperating mechanisms:
+
+* **dominator-scoped CSE** over pure expressions: two instructions with
+  identical opcode + operands compute the same value, so the dominated
+  one is replaced by the dominating one. ``MapLookup`` participates
+  because kernels cannot write Maps (control-plane managed); likewise
+  ``CtrlRead`` and ``WinField``.
+* **block-local load CSE** for ``LoadElem``/``LoadParam``: safe within a
+  block while tracking clobbers (stores, memcpy, calls) -- cross-block
+  load CSE would need full memory dependence and is not attempted.
+* **entry hoisting** of pure instructions whose operands are constants
+  or parameters (notably ``Idx[key]`` lookups sitting in sibling
+  branches): moved to the entry block, after which dominator CSE
+  deduplicates them. This is what collapses Fig 5's three ``Idx[key]``
+  lookups into a single match-action table apply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.nir import ir
+from repro.nir.cfg import DominatorTree
+
+#: instruction classes that may be hoisted to the entry block when their
+#: operands are constants/parameters (all pure, all idempotent)
+_HOISTABLE = (ir.MapLookup, ir.WinField, ir.LocField, ir.LocLabel, ir.CtrlRead)
+
+
+def global_value_numbering(fn: ir.Function) -> int:
+    total = _hoist_entry_pure(fn)
+    while True:
+        changed = _local_load_cse(fn)
+        changed += _dominator_cse(fn)
+        total += changed
+        if changed == 0:
+            return total
+
+
+# ---------------------------------------------------------------------------
+# value keys
+# ---------------------------------------------------------------------------
+
+
+def _op_key(v: ir.Value):
+    if isinstance(v, ir.Const):
+        return ("c", v.ty, v.value)
+    if isinstance(v, ir.Param):
+        return ("p", v.index)
+    if isinstance(v, ir.Instr):
+        return ("i", v.id)
+    return None
+
+
+def _key_of(instr: ir.Instr) -> Optional[Tuple]:
+    ops = tuple(_op_key(v) for v in instr.operands)
+    if any(op is None for op in ops):
+        return None
+    if isinstance(instr, ir.BinOp):
+        if instr.op in ("add", "mul", "and", "or", "xor", "eq", "ne"):
+            ops = tuple(sorted(ops))  # commutative normalization
+        return ("bin", instr.op, instr.ty, ops)
+    if isinstance(instr, ir.UnOp):
+        return ("un", instr.op, instr.ty, ops)
+    if isinstance(instr, ir.Cast):
+        return ("cast", instr.kind, instr.ty, ops)
+    if isinstance(instr, ir.Select):
+        return ("sel", instr.ty, ops)
+    if isinstance(instr, ir.WinField):
+        return ("win", instr.field)
+    if isinstance(instr, ir.LocField):
+        return ("loc", instr.field)
+    if isinstance(instr, ir.LocLabel):
+        return ("locl", instr.label)
+    if isinstance(instr, ir.CtrlRead):
+        return ("ctrl", instr.ref.name, ops)
+    if isinstance(instr, ir.MapLookup):
+        return ("maplkp", instr.ref.name, ops)
+    if isinstance(instr, (ir.MapFound, ir.MapValue)):
+        return (type(instr).__name__, instr.ty, ops)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# entry hoisting
+# ---------------------------------------------------------------------------
+
+
+def _hoist_entry_pure(fn: ir.Function) -> int:
+    """Move hoistable instructions with const/param operands to the entry
+    block when an identical instruction appears more than once."""
+    candidates: Dict[Tuple, List[ir.Instr]] = {}
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if not isinstance(instr, _HOISTABLE):
+                continue
+            if not all(
+                isinstance(op, (ir.Const, ir.Param)) for op in instr.operands
+            ):
+                continue
+            key = _key_of(instr)
+            if key is not None:
+                candidates.setdefault(key, []).append(instr)
+    hoisted = 0
+    entry = fn.entry
+    for key, instances in candidates.items():
+        if len(instances) < 2:
+            continue
+        leader = instances[0]
+        if any(i.block is entry for i in instances):
+            continue  # dominator CSE will collapse onto the entry copy
+        if leader.block is not entry:
+            leader.block.instrs.remove(leader)
+            insert_at = len(entry.instrs) - (1 if entry.terminator else 0)
+            entry.instrs.insert(insert_at, leader)
+            leader.block = entry
+            hoisted += 1
+    return hoisted
+
+
+# ---------------------------------------------------------------------------
+# dominator-scoped CSE
+# ---------------------------------------------------------------------------
+
+
+def _dominator_cse(fn: ir.Function) -> int:
+    dom = DominatorTree(fn)
+    replaced = 0
+
+    def walk(block: ir.Block, table: Dict[Tuple, ir.Instr]) -> None:
+        nonlocal replaced
+        scope: Dict[Tuple, ir.Instr] = dict(table)
+        local_replacements: Dict[ir.Instr, ir.Instr] = {}
+        keep: List[ir.Instr] = []
+        for instr in block.instrs:
+            _rewrite(instr, local_replacements)
+            key = _key_of(instr)
+            if key is not None and key in scope:
+                local_replacements[instr] = scope[key]
+                replaced += 1
+                continue
+            if key is not None:
+                scope[key] = instr
+            keep.append(instr)
+        block.instrs = keep
+        if local_replacements:
+            for b in fn.blocks:
+                for instr in b.instrs:
+                    _rewrite(instr, local_replacements)
+        for child in dom.children.get(block, ()):
+            walk(child, scope)
+
+    walk(fn.entry, {})
+    return replaced
+
+
+def _rewrite(instr: ir.Instr, repl: Dict[ir.Instr, ir.Instr]) -> None:
+    for idx, op in enumerate(instr.operands):
+        target = op
+        while isinstance(target, ir.Instr) and target in repl:
+            target = repl[target]
+        if target is not op:
+            instr.operands[idx] = target
+            if isinstance(instr, ir.Phi):
+                instr.incoming[idx] = (target, instr.incoming[idx][1])
+
+
+# ---------------------------------------------------------------------------
+# block-local load CSE
+# ---------------------------------------------------------------------------
+
+
+def _load_key(instr: ir.Instr) -> Optional[Tuple]:
+    if isinstance(instr, ir.LoadElem):
+        idx = _op_key(instr.index)
+        return ("elem", instr.ref.name, idx) if idx is not None else None
+    if isinstance(instr, ir.LoadParam):
+        idx = _op_key(instr.index)
+        return ("param", instr.param.index, idx) if idx is not None else None
+    return None
+
+
+def _may_alias(load_idx_key, store_idx_key) -> bool:
+    """Conservative aliasing of two index keys: distinct constants are the
+    only provably-disjoint case."""
+    if (
+        load_idx_key is not None
+        and store_idx_key is not None
+        and load_idx_key[0] == "c"
+        and store_idx_key[0] == "c"
+    ):
+        return load_idx_key[2] == store_idx_key[2]
+    return True
+
+
+def _local_load_cse(fn: ir.Function) -> int:
+    replaced = 0
+    for block in fn.blocks:
+        available: Dict[Tuple, ir.Instr] = {}
+        repl: Dict[ir.Instr, ir.Instr] = {}
+        keep: List[ir.Instr] = []
+        for instr in block.instrs:
+            _rewrite(instr, repl)
+            key = _load_key(instr)
+            if key is not None:
+                if key in available:
+                    repl[instr] = available[key]
+                    replaced += 1
+                    continue
+                available[key] = instr
+                keep.append(instr)
+                continue
+            # Clobbers invalidate the relevant part of the table. Two
+            # constant indices that differ provably don't alias.
+            if isinstance(instr, ir.StoreElem):
+                sk = _op_key(instr.index)
+                available = {
+                    k: v
+                    for k, v in available.items()
+                    if not (
+                        k[0] == "elem"
+                        and k[1] == instr.ref.name
+                        and _may_alias(k[2], sk)
+                    )
+                }
+            elif isinstance(instr, ir.StoreParam):
+                sk = _op_key(instr.index)
+                available = {
+                    k: v
+                    for k, v in available.items()
+                    if not (
+                        k[0] == "param"
+                        and k[1] == instr.param.index
+                        and _may_alias(k[2], sk)
+                    )
+                }
+            elif isinstance(instr, (ir.Memcpy, ir.CallFn)):
+                available = {}
+            keep.append(instr)
+        block.instrs = keep
+        if repl:
+            for b in fn.blocks:
+                for instr in b.instrs:
+                    _rewrite(instr, repl)
+    return replaced

@@ -1,0 +1,77 @@
+"""Memcpy expansion (device pipeline).
+
+After window specialization + constant folding, every ``memcpy`` in
+switch code has a constant byte count; this pass expands it into
+element-wise loads/stores so later passes (store-to-load forwarding,
+register splitting) and codegen see the individual accesses.
+
+Host-side IR keeps its ``Memcpy`` instructions (the interpreter executes
+them directly, and dynamic lengths are fine there).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConformanceError
+from repro.ncl.types import U32, sizeof
+from repro.nir import ir
+
+
+def expand_memcpy(fn: ir.Function) -> int:
+    """Expand all constant-length memcpys. Returns number expanded."""
+    expanded = 0
+    for block in fn.blocks:
+        new_instrs: List[ir.Instr] = []
+        for instr in block.instrs:
+            if isinstance(instr, ir.Memcpy) and isinstance(instr.nbytes, ir.Const):
+                new_instrs.extend(_expand_one(fn, instr))
+                expanded += 1
+            else:
+                new_instrs.append(instr)
+        for i in new_instrs:
+            i.block = block
+        block.instrs = new_instrs
+    return expanded
+
+
+def _expand_one(fn: ir.Function, instr: ir.Memcpy) -> List[ir.Instr]:
+    nbytes = instr.nbytes.value  # type: ignore[union-attr]
+    dst_elem = sizeof(instr.dst.elem_type)
+    src_elem = sizeof(instr.src.elem_type)
+    if dst_elem != src_elem:
+        raise ConformanceError(
+            f"{fn.name}: memcpy between different element widths "
+            f"({src_elem} vs {dst_elem} bytes)"
+        )
+    if nbytes % dst_elem:
+        raise ConformanceError(
+            f"{fn.name}: memcpy length {nbytes} is not a multiple of the "
+            f"element size {dst_elem}"
+        )
+    count = nbytes // dst_elem
+    out: List[ir.Instr] = []
+
+    def elem_index(base: ir.Value, i: int) -> ir.Value:
+        if isinstance(base, ir.Const):
+            return ir.Const(U32, base.value + i)
+        if i == 0:
+            return base
+        add = ir.BinOp("add", base, ir.Const(U32, i), U32)
+        out.append(add)
+        return add
+
+    for i in range(count):
+        src_idx = elem_index(instr.src_off, i)
+        if instr.src.kind == "param":
+            load: ir.Instr = ir.LoadParam(instr.src.param, src_idx)  # type: ignore[arg-type]
+        else:
+            load = ir.LoadElem(instr.src.ref, src_idx)  # type: ignore[arg-type]
+        out.append(load)
+        dst_idx = elem_index(instr.dst_off, i)
+        if instr.dst.kind == "param":
+            store: ir.Instr = ir.StoreParam(instr.dst.param, dst_idx, load)  # type: ignore[arg-type]
+        else:
+            store = ir.StoreElem(instr.dst.ref, dst_idx, load)  # type: ignore[arg-type]
+        out.append(store)
+    return out

@@ -1,0 +1,236 @@
+"""Register-array splitting (arch-specific transformation, paper S5).
+
+Hardware pipelines allow **one access per register array per packet**.
+An unrolled window loop touches ``accum[base+0] .. accum[base+W-1]`` --
+W accesses to one array -- so the paper's AllReduce is unmappable as-is
+on such chips. NetCache and SwitchML solve this by splitting state
+across one register array per window offset; this pass performs that
+transformation automatically:
+
+``R[base + k]`` (k = 0..W-1, base provably a multiple of W)
+    becomes ``R__k[base / W]``
+
+Conditions (checked per module, across all kernels that run on the
+switch):
+
+* every access index decomposes as ``base + k`` with one common dynamic
+  ``base`` per function (or a plain constant);
+* the observed offsets k fit a power-of-two stride W;
+* ``base`` is provably a multiple of W: it is a ``shl`` by >= log2(W),
+  a multiplication by a multiple of W, or constant 0;
+* the array length is a multiple of W.
+
+The module's GlobalRef is replaced by W split refs named ``R__k``; the
+driver records the split so the controller can still read the logical
+array (:meth:`repro.runtime.controller.Controller.register_dump`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ncl.types import ArrayType, U32
+from repro.nir import ir
+from repro.nir.passes.storefwd import _index_key
+
+
+class SplitInfo:
+    """Record of one performed split: logical name -> stride + parts."""
+
+    def __init__(self, name: str, stride: int, part_names: List[str]):
+        self.name = name
+        self.stride = stride
+        self.part_names = part_names
+
+    def __repr__(self) -> str:
+        return f"SplitInfo({self.name} / {self.stride})"
+
+
+def _fingerprint(value: Optional[ir.Value], depth: int = 4):
+    """Structural identity for base expressions: two `shl %x, 2` in
+    sibling branches are the same base even though CSE could not merge
+    them (no dominance)."""
+    if value is None:
+        return None
+    if isinstance(value, ir.Const):
+        return ("c", value.ty, value.value)
+    if isinstance(value, ir.Param):
+        return ("p", value.index)
+    if depth == 0 or not isinstance(value, ir.Instr):
+        return ("i", id(value))
+    if isinstance(value, ir.BinOp):
+        return ("bin", value.op) + tuple(
+            _fingerprint(op, depth - 1) for op in value.operands
+        )
+    if isinstance(value, ir.Cast):
+        return ("cast", value.kind, value.ty, _fingerprint(value.operands[0], depth - 1))
+    if isinstance(value, ir.WinField):
+        return ("win", value.field)
+    if isinstance(value, (ir.MapValue, ir.MapFound)):
+        return (type(value).__name__, _fingerprint(value.operands[0], depth - 1))
+    if isinstance(value, ir.MapLookup):
+        return ("maplkp", value.ref.name, _fingerprint(value.key, depth - 1))
+    if isinstance(value, ir.CtrlRead):
+        idx = value.index
+        return ("ctrl", value.ref.name, _fingerprint(idx, depth - 1) if idx else None)
+    return ("i", id(value))
+
+
+def _provably_multiple_of(value: ir.Value, stride: int) -> bool:
+    """Is *value* statically a multiple of *stride* (a power of two)?"""
+    if stride == 1:
+        return True
+    if isinstance(value, ir.Const):
+        return value.value % stride == 0
+    if isinstance(value, ir.BinOp):
+        if value.op == "shl" and isinstance(value.rhs, ir.Const):
+            return (1 << value.rhs.value) % stride == 0
+        if value.op == "mul":
+            for side in (value.lhs, value.rhs):
+                if isinstance(side, ir.Const) and side.value % stride == 0:
+                    return True
+        if value.op == "and" and isinstance(value.rhs, ir.Const):
+            # masked so the low bits are zero
+            low_mask = stride - 1
+            return (value.rhs.value & low_mask) == 0
+    return False
+
+
+def split_register_arrays(
+    module: ir.Module, max_accesses: int = 1
+) -> List[SplitInfo]:
+    """Split arrays whose per-packet access count exceeds *max_accesses*.
+
+    Run after unrolling + memcpy expansion + store-to-load forwarding on
+    every kernel of a per-location module. Returns the performed splits.
+    """
+    splits: List[SplitInfo] = []
+    for name in list(module.globals):
+        ref = module.globals[name]
+        if ref.space != "net" or not isinstance(ref.ty, ArrayType):
+            continue
+        plan = _plan_split(module, ref, max_accesses)
+        if plan is None:
+            continue
+        splits.append(_apply_split(module, ref, plan))
+    return splits
+
+
+def _collect_accesses(module: ir.Module, ref: ir.GlobalRef):
+    per_fn: Dict[ir.Function, List[ir.Instr]] = {}
+    for fn in module.functions.values():
+        accesses = []
+        for instr in fn.instructions():
+            if isinstance(instr, (ir.LoadElem, ir.StoreElem)) and instr.ref is ref:
+                accesses.append(instr)
+            elif isinstance(instr, ir.Memcpy) and (
+                (instr.dst.ref is ref) or (instr.src.ref is ref)
+            ):
+                return None  # un-expanded memcpy: cannot reason
+        if accesses:
+            per_fn[fn] = accesses
+    return per_fn
+
+
+def _plan_split(
+    module: ir.Module, ref: ir.GlobalRef, max_accesses: int
+) -> Optional[int]:
+    """Return the stride W to split by, or None."""
+    per_fn = _collect_accesses(module, ref)
+    if per_fn is None or not per_fn:
+        return None
+    worst = 0
+    offsets_seen: List[int] = []
+    for fn, accesses in per_fn.items():
+        keys = [_index_key(a.index) for a in accesses]
+        if any(k is None for k in keys):
+            return None
+        bases = {_fingerprint(k[0]) for k in keys if k[0] is not None}
+        if len(bases) > 1:
+            return None  # more than one dynamic base: unsupported
+        # distinct elements touched per packet (RMW pairs count once)
+        distinct = {(_fingerprint(k[0]), k[1]) for k in keys}
+        worst = max(worst, len(distinct))
+        offsets_seen.extend(k[1] for k in keys)
+    if worst <= max_accesses:
+        return None  # nothing to fix
+    max_off = max(offsets_seen)
+    if min(offsets_seen) < 0:
+        return None
+    stride = 1
+    while stride <= max_off:
+        stride <<= 1
+    if stride < 2:
+        return None
+    if ref.total_elements % stride != 0:
+        return None
+    # every dynamic base must be a multiple of the stride
+    for fn, accesses in per_fn.items():
+        for a in accesses:
+            key = _index_key(a.index)
+            assert key is not None
+            base = key[0]
+            if base is not None and not _provably_multiple_of(base, stride):
+                return None
+            if base is None and key[1] >= stride:
+                return None  # pure-constant index outside the first group
+    return stride
+
+
+def _apply_split(module: ir.Module, ref: ir.GlobalRef, stride: int) -> SplitInfo:
+    elem_ty = ref.elem_type
+    part_len = ref.total_elements // stride
+    parts: List[ir.GlobalRef] = []
+    init = ref.init
+    for k in range(stride):
+        part_init = None
+        if init is not None:
+            part_init = [init[i] for i in range(k, len(init), stride)]
+        part = ir.GlobalRef(
+            f"{ref.name}__{k}",
+            ArrayType(elem_ty, part_len),
+            "net",
+            ref.at_label,
+            part_init,
+        )
+        module.add_global(part)
+        parts.append(part)
+    del module.globals[ref.name]
+
+    shift = stride.bit_length() - 1
+    for fn in module.functions.values():
+        for block in fn.blocks:
+            new_instrs: List[ir.Instr] = []
+            replacements: Dict[ir.Instr, ir.Value] = {}
+            for instr in block.instrs:
+                if (
+                    isinstance(instr, (ir.LoadElem, ir.StoreElem))
+                    and instr.ref is ref
+                ):
+                    key = _index_key(instr.index)
+                    assert key is not None
+                    base, off = key
+                    part = parts[off % stride]
+                    if base is None:
+                        new_index: ir.Value = ir.Const(U32, off // stride)
+                    else:
+                        shr = ir.BinOp("lshr", base, ir.Const(U32, shift), U32)
+                        shr.block = block
+                        new_instrs.append(shr)
+                        new_index = shr
+                    if isinstance(instr, ir.LoadElem):
+                        new = ir.LoadElem(part, new_index)
+                        replacements[instr] = new
+                    else:
+                        new = ir.StoreElem(part, new_index, instr.value)
+                    new.block = block
+                    new_instrs.append(new)
+                else:
+                    new_instrs.append(instr)
+            block.instrs = new_instrs
+            if replacements:
+                for b in fn.blocks:
+                    for instr in b.instrs:
+                        for old, repl in replacements.items():
+                            instr.replace_operand(old, repl)
+    return SplitInfo(ref.name, stride, [p.name for p in parts])

@@ -1,0 +1,206 @@
+"""CFG simplification.
+
+* folds ``condbr`` on a constant into ``br`` (and fixes phis on the
+  no-longer-taken edge);
+* removes unreachable blocks;
+* merges a block into its single predecessor when that predecessor has a
+  single successor;
+* threads jumps through empty forwarding blocks (a lone ``br``), the
+  bread-and-butter cleanup after loop unrolling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.nir import ir
+
+
+def simplify_cfg(fn: ir.Function) -> int:
+    """Run all simplifications to a fixed point; returns #changes."""
+    total = 0
+    while True:
+        changed = 0
+        changed += _fold_const_branches(fn)
+        changed += _remove_unreachable(fn)
+        changed += _thread_trivial_jumps(fn)
+        changed += _merge_straightline(fn)
+        changed += _remove_unreachable(fn)
+        total += changed
+        if changed == 0:
+            return total
+
+
+def _fold_const_branches(fn: ir.Function) -> int:
+    changed = 0
+    for block in fn.blocks:
+        term = block.terminator
+        if isinstance(term, ir.CondBr) and isinstance(term.cond, ir.Const):
+            taken = term.then if term.cond.value else term.other
+            not_taken = term.other if term.cond.value else term.then
+            if not_taken is not taken:
+                _remove_phi_edge(not_taken, block)
+            block.instrs[-1] = _mk_br(taken, block)
+            changed += 1
+        elif isinstance(term, ir.CondBr) and term.then is term.other:
+            block.instrs[-1] = _mk_br(term.then, block)
+            changed += 1
+    return changed
+
+
+def _mk_br(target: ir.Block, block: ir.Block) -> ir.Br:
+    br = ir.Br(target)
+    br.block = block
+    return br
+
+
+def _remove_phi_edge(block: ir.Block, pred: ir.Block) -> None:
+    for phi in block.phis():
+        for idx, (value, inc_block) in enumerate(list(phi.incoming)):
+            if inc_block is pred:
+                del phi.incoming[idx]
+                del phi.operands[idx]
+                break
+
+
+def _remove_unreachable(fn: ir.Function) -> int:
+    reachable = set()
+    stack = [fn.entry]
+    while stack:
+        block = stack.pop()
+        if block in reachable:
+            continue
+        reachable.add(block)
+        stack.extend(block.successors())
+    dead = [b for b in fn.blocks if b not in reachable]
+    if not dead:
+        return 0
+    dead_set = set(dead)
+    for block in reachable:
+        for phi in block.phis():
+            keep = [
+                (v, b) for v, b in phi.incoming if b not in dead_set
+            ]
+            if len(keep) != len(phi.incoming):
+                phi.incoming = keep
+                phi.operands = [v for v, _ in keep]
+    fn.blocks = [b for b in fn.blocks if b in reachable]
+    _collapse_single_incoming_phis(fn)
+    return len(dead)
+
+
+def _collapse_single_incoming_phis(fn: ir.Function) -> None:
+    replaced: Dict[ir.Phi, ir.Value] = {}
+    for block in fn.blocks:
+        for phi in list(block.phis()):
+            if len(phi.incoming) == 1:
+                replaced[phi] = phi.incoming[0][0]
+                block.instrs.remove(phi)
+    if not replaced:
+        return
+    # Resolve chains phi -> phi -> value.
+    def resolve(v: ir.Value) -> ir.Value:
+        seen = set()
+        while isinstance(v, ir.Phi) and v in replaced and v not in seen:
+            seen.add(v)
+            v = replaced[v]
+        return v
+
+    for block in fn.blocks:
+        for instr in block.instrs:
+            for old, _ in replaced.items():
+                instr.replace_operand(old, resolve(old))
+
+
+def _thread_trivial_jumps(fn: ir.Function) -> int:
+    """Redirect edges through blocks that contain only ``br target``."""
+    changed = 0
+    preds = fn.predecessors()
+    for block in list(fn.blocks):
+        if block is fn.entry or len(block.instrs) != 1:
+            continue
+        term = block.terminator
+        if not isinstance(term, ir.Br):
+            continue
+        target = term.target
+        if target is block:
+            continue
+        # A phi in target distinguishing this block from our preds blocks
+        # the rewrite when a pred already reaches target some other way.
+        target_phis = target.phis()
+        pred_blocks = preds[block]
+        if target_phis:
+            existing = {b for phi in target_phis for _, b in phi.incoming}
+            if any(p in existing for p in pred_blocks):
+                continue
+        for pred in pred_blocks:
+            pterm = pred.terminator
+            if isinstance(pterm, ir.Br) and pterm.target is block:
+                pterm.target = target
+            elif isinstance(pterm, ir.CondBr):
+                if pterm.then is block:
+                    pterm.then = target
+                if pterm.other is block:
+                    pterm.other = target
+            for phi in target_phis:
+                for idx, (value, inc) in enumerate(list(phi.incoming)):
+                    if inc is block:
+                        # This edge now comes from pred (possibly several).
+                        phi.incoming[idx] = (value, pred)
+            changed += 1
+        if pred_blocks:
+            # Multiple preds: the loop above rewired the first pred's phi
+            # entry; extra preds need duplicated entries.
+            for phi in target_phis:
+                base_entries = [
+                    (v, b) for v, b in phi.incoming if b in pred_blocks
+                ]
+                if base_entries and len(pred_blocks) > 1:
+                    value = base_entries[0][0]
+                    have = {b for _, b in phi.incoming}
+                    for pred in pred_blocks:
+                        if pred not in have:
+                            phi.add_incoming(value, pred)
+        preds = fn.predecessors()
+    return changed
+
+
+def _merge_straightline(fn: ir.Function) -> int:
+    """Merge B into A when A->B is the only edge in either direction."""
+    changed = 0
+    while True:
+        preds = fn.predecessors()
+        merged = False
+        for block in fn.blocks:
+            term = block.terminator
+            if not isinstance(term, ir.Br):
+                continue
+            target = term.target
+            if target is block or target is fn.entry:
+                continue
+            if len(preds[target]) != 1:
+                continue
+            if target.phis():
+                # Single-pred phis are trivial; inline them first.
+                for phi in list(target.phis()):
+                    value = phi.incoming[0][0]
+                    for b in fn.blocks:
+                        for instr in b.instrs:
+                            instr.replace_operand(phi, value)
+                    target.instrs.remove(phi)
+            block.instrs.pop()  # drop the br
+            for instr in target.instrs:
+                instr.block = block
+                block.instrs.append(instr)
+            # Phis in target's successors referenced target as incoming.
+            for succ in block.successors():
+                for phi in succ.phis():
+                    phi.incoming = [
+                        (v, block if b is target else b) for v, b in phi.incoming
+                    ]
+            fn.blocks.remove(target)
+            changed += 1
+            merged = True
+            break
+        if not merged:
+            return changed

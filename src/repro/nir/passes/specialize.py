@@ -1,0 +1,66 @@
+"""IR specialization passes used by nclc's versioning stage.
+
+* :func:`specialize_window` pins window-struct fields to constants from
+  the window specification (the prototype scope of the paper, S6:
+  "windows that fit a packet" -- their geometry is fixed per deployment,
+  so switch code can treat ``window.len`` etc. as compile-time constants).
+  Host-side IR is *not* specialized: hosts handle windows dynamically.
+
+* :func:`specialize_location` resolves the location struct and
+  ``_locid`` labels against a concrete AND location, yielding the
+  per-switch module versions (nclc stage 2, S5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConformanceError
+from repro.ncl.types import is_signed, scalar_bits
+from repro.nir import ir
+from repro.util import intops
+
+
+def _replace_all(fn: ir.Function, replacements: Dict[ir.Instr, ir.Value]) -> None:
+    if not replacements:
+        return
+    for block in fn.blocks:
+        block.instrs = [i for i in block.instrs if i not in replacements]
+        for instr in block.instrs:
+            for old, new in replacements.items():
+                instr.replace_operand(old, new)
+
+
+def specialize_window(fn: ir.Function, spec: Mapping[str, int]) -> int:
+    """Replace ``WinField`` reads named in *spec* with constants."""
+    replacements: Dict[ir.Instr, ir.Value] = {}
+    for instr in fn.instructions():
+        if isinstance(instr, ir.WinField) and instr.field in spec:
+            value = spec[instr.field]
+            if instr.ty.is_scalar:
+                value = intops.wrap(value, scalar_bits(instr.ty), is_signed(instr.ty))
+            replacements[instr] = ir.Const(instr.ty, value)
+    _replace_all(fn, replacements)
+    return len(replacements)
+
+
+def specialize_location(
+    fn: ir.Function,
+    location_id: int,
+    label_ids: Mapping[str, int],
+) -> int:
+    """Resolve location-struct fields and ``_locid`` labels for one switch."""
+    replacements: Dict[ir.Instr, ir.Value] = {}
+    for instr in fn.instructions():
+        if isinstance(instr, ir.LocField):
+            if instr.field != "id":
+                raise ConformanceError(f"unknown location field {instr.field!r}")
+            replacements[instr] = ir.Const(instr.ty, location_id)
+        elif isinstance(instr, ir.LocLabel):
+            if instr.label not in label_ids:
+                raise ConformanceError(
+                    f"_locid label {instr.label!r} is not defined in the AND"
+                )
+            replacements[instr] = ir.Const(instr.ty, label_ids[instr.label])
+    _replace_all(fn, replacements)
+    return len(replacements)

@@ -1,0 +1,155 @@
+"""Store-to-load forwarding for switch memory.
+
+After full unrolling and memcpy expansion, a kernel often re-reads a
+register element it has just written (Fig 4: ``accum[base+i] += d[i]``
+followed by the result copy-out). On hardware each such read is another
+access to the register array -- the scarcest resource on the chip -- so
+forwarding the stored SSA value into the load both removes work and is
+frequently the difference between backend acceptance and rejection.
+
+Soundness strategy (deliberately conservative):
+
+* all stores to the candidate array must have *statically disambiguated*
+  indexes -- every pair of (index) expressions must be provably equal or
+  provably distinct. The supported forms are plain constants and
+  ``base + const`` with one common dynamic ``base`` per array (exactly
+  what unrolled window loops produce);
+* a load forwards from a same-index store only if that store's block
+  dominates the load's block (or precedes it in the same block) and no
+  same-index store can occur between them on any path -- enforced by
+  requiring every other same-index store to be dominated by the load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.nir import ir
+from repro.nir.cfg import DominatorTree
+
+IndexKey = Tuple  # ("const", c) | ("base", id(base), c)
+
+
+def _index_key(value: ir.Value) -> Optional[Tuple[Optional[ir.Value], int]]:
+    """Decompose an index into (base_value_or_None, const_offset)."""
+    if isinstance(value, ir.Const):
+        return (None, value.value)
+    if isinstance(value, ir.BinOp) and value.op == "add":
+        if isinstance(value.rhs, ir.Const) and not isinstance(value.lhs, ir.Const):
+            return (value.lhs, value.rhs.value)
+        if isinstance(value.lhs, ir.Const) and not isinstance(value.rhs, ir.Const):
+            return (value.rhs, value.lhs.value)
+    # bare dynamic value: offset 0
+    if isinstance(value, (ir.Instr, ir.Param)):
+        return (value, 0)
+    return None
+
+
+def _keys_comparable(a, b) -> Optional[bool]:
+    """True=same element, False=provably distinct, None=unknown."""
+    base_a, off_a = a
+    base_b, off_b = b
+    if base_a is base_b:
+        return off_a == off_b
+    if base_a is None or base_b is None:
+        return None  # const vs base+k: may collide for some base
+    return None  # two different dynamic bases
+
+
+def forward_stores(fn: ir.Function) -> int:
+    """Forward stored values into dominated same-element loads.
+
+    Also performs the enabling analysis for register splitting: returns
+    the number of loads replaced.
+    """
+    from repro.nir.cfg import natural_loops
+
+    if natural_loops(fn):
+        return 0  # only sound on acyclic (post-unroll) CFGs
+    dom = DominatorTree(fn)
+    # Gather per-array access lists.
+    arrays: Dict[str, Dict[str, List[ir.Instr]]] = {}
+    opaque: set = set()  # arrays touched by un-expanded memcpys/calls
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, (ir.LoadElem, ir.StoreElem)):
+                entry = arrays.setdefault(instr.ref.name, {"loads": [], "stores": []})
+                entry["loads" if isinstance(instr, ir.LoadElem) else "stores"].append(
+                    instr
+                )
+            elif isinstance(instr, ir.Memcpy):
+                for region in (instr.dst, instr.src):
+                    if region.ref is not None:
+                        opaque.add(region.ref.name)
+            elif isinstance(instr, ir.CallFn):
+                return 0  # calls may touch anything; run after inlining
+    for name in opaque:
+        arrays.pop(name, None)
+
+    order: Dict[ir.Instr, Tuple[int, int]] = {}
+    block_index = {b: i for i, b in enumerate(fn.blocks)}
+    for block in fn.blocks:
+        for pos, instr in enumerate(block.instrs):
+            order[instr] = (block_index[instr.block], pos)
+
+    def precedes(a: ir.Instr, b: ir.Instr) -> bool:
+        """a executes before b: same block earlier, or a's block strictly
+        dominates b's block."""
+        if a.block is b.block:
+            return order[a][1] < order[b][1]
+        return dom.dominates(a.block, b.block)
+
+    replaced = 0
+    replacements: Dict[ir.Instr, ir.Value] = {}
+    for name, accesses in arrays.items():
+        stores = accesses["stores"]
+        loads = accesses["loads"]
+        if not stores or not loads:
+            continue
+        store_keys = [_index_key(s.index) for s in stores]
+        load_keys = [_index_key(l.index) for l in loads]
+        if any(k is None for k in store_keys + load_keys):
+            continue
+        # Full pairwise disambiguation: store/store and store/load.
+        ok = True
+        for i in range(len(store_keys)):
+            for j in range(i + 1, len(store_keys)):
+                if _keys_comparable(store_keys[i], store_keys[j]) is None:
+                    ok = False
+            for j in range(len(load_keys)):
+                if _keys_comparable(store_keys[i], load_keys[j]) is None:
+                    ok = False
+        if not ok:
+            continue
+        for load, lkey in zip(loads, load_keys):
+            same = [
+                s
+                for s, skey in zip(stores, store_keys)
+                if _keys_comparable(skey, lkey)
+            ]
+            if not same:
+                continue
+            dominating = [s for s in same if precedes(s, load)]
+            others = [s for s in same if s not in dominating]
+            # Every non-dominating same-element store must come strictly
+            # after the load (no conditional store could interpose).
+            if any(not precedes(load, s) for s in others):
+                continue
+            if not dominating:
+                continue
+            # The nearest dominating store: they are totally ordered by
+            # `precedes` within the dominating set (all dominate load).
+            nearest = dominating[0]
+            for s in dominating[1:]:
+                if precedes(nearest, s):
+                    nearest = s
+            replacements[load] = nearest.value
+            replaced += 1
+
+    if replacements:
+        for block in fn.blocks:
+            block.instrs = [i for i in block.instrs if i not in replacements]
+            for instr in block.instrs:
+                for old, new in replacements.items():
+                    instr.replace_operand(old, new)
+    return replaced

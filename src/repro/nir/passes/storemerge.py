@@ -1,0 +1,171 @@
+"""Predicated store fusion.
+
+Hardware register arrays admit one access per packet, but that access is
+a *RegisterAction*: read, ALU, and a possibly-predicated write in one
+stage. SwitchML's accumulator reset is the canonical pattern::
+
+    count[seq] = count[seq] + 1;          // store S1 (unconditional)
+    if (count[seq] == nworkers) {
+        count[seq] = 0;                   // store S2 (conditional rewrite)
+    }
+
+which naive codegen turns into two register accesses. This pass fuses
+them into one predicated store::
+
+    count[seq] = (count[seq] + 1 == nworkers) ? 0 : count[seq] + 1;
+
+Conditions (conservative):
+
+* S1 sits in a block ending in ``CondBr``; S2 in a successor that has
+  that block as its only predecessor;
+* same array, structurally identical element index;
+* S2's value is available at the branch (operands dominate S1's block);
+* no other access to the array between S1 and the branch, nor before S2
+  in its block (store-to-load forwarding has usually cleared these);
+* the condition does not depend on the stored value's memory state
+  (it is an SSA value computed before the terminator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.nir import ir
+from repro.nir.cfg import DominatorTree, natural_loops
+from repro.nir.passes.storefwd import _index_key
+
+
+def merge_conditional_stores(fn: ir.Function) -> int:
+    if natural_loops(fn):
+        return 0
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            term = block.terminator
+            if not isinstance(term, ir.CondBr):
+                continue
+            if _try_merge_from(fn, block, term):
+                merged += 1
+                changed = True
+                break
+    return merged
+
+
+def _try_merge_from(fn: ir.Function, block: ir.Block, term: ir.CondBr) -> bool:
+    preds = fn.predecessors()
+    dom = DominatorTree(fn)
+    for taken_on_true, succ in ((True, term.then), (False, term.other)):
+        if succ is block or len(preds[succ]) != 1:
+            continue
+        s2 = _leading_store(succ)
+        if s2 is None:
+            continue
+        s1 = _matching_unconditional_store(block, s2)
+        if s1 is None:
+            continue
+        # S2's value must be available in `block`.
+        if not _available_at(dom, s2.value, block, before=term):
+            continue
+        if not _movable_to_terminator(block, s1):
+            continue
+        # Build: fused_value = select(cond, s2val, s1val) (or swapped).
+        cond = term.cond
+        if taken_on_true:
+            select = ir.Select(cond, s2.value, s1.value, _store_ty(s1))
+        else:
+            select = ir.Select(cond, s1.value, s2.value, _store_ty(s1))
+        fused = ir.StoreElem(s1.ref, s1.index, select)
+        # Remove S1 and S2, insert select+store right before the branch.
+        block.instrs.remove(s1)
+        succ.instrs.remove(s2)
+        insert_at = len(block.instrs) - 1  # before terminator
+        select.block = block
+        fused.block = block
+        block.instrs.insert(insert_at, select)
+        block.instrs.insert(insert_at + 1, fused)
+        return True
+    return False
+
+
+def _store_ty(store: ir.StoreElem):
+    return store.ref.elem_type
+
+
+def _leading_store(block: ir.Block) -> Optional[ir.StoreElem]:
+    """The first register-array store of *block*, provided nothing before
+    it touched the same array. PHV accesses (window data, metadata) never
+    alias register memory and are skipped."""
+    prefix: List[ir.Instr] = []
+    for instr in block.instrs:
+        if isinstance(instr, ir.StoreElem):
+            for earlier in prefix:
+                if (
+                    isinstance(earlier, (ir.LoadElem, ir.StoreElem))
+                    and earlier.ref is instr.ref
+                ):
+                    return None
+            return instr
+        if isinstance(instr, (ir.Memcpy, ir.CallFn)):
+            return None
+        if instr.is_terminator:
+            return None
+        prefix.append(instr)
+    return None
+
+
+def _matching_unconditional_store(
+    block: ir.Block, s2: ir.StoreElem
+) -> Optional[ir.StoreElem]:
+    key2 = _index_key(s2.index)
+    if key2 is None:
+        return None
+    candidate: Optional[ir.StoreElem] = None
+    for instr in block.instrs:
+        if isinstance(instr, ir.StoreElem) and instr.ref is s2.ref:
+            key1 = _index_key(instr.index)
+            if key1 is not None and key1[0] is key2[0] and key1[1] == key2[1]:
+                candidate = instr
+    return candidate
+
+
+def _movable_to_terminator(block: ir.Block, store: ir.StoreElem) -> bool:
+    """No possibly-aliasing access to the same element between the store
+    and the branch (provably distinct offsets off a common base are fine
+    -- unrolled window code is full of them)."""
+    from repro.nir.passes.storefwd import _keys_comparable
+
+    key = _index_key(store.index)
+    seen = False
+    for instr in block.instrs:
+        if instr is store:
+            seen = True
+            continue
+        if not seen:
+            continue
+        if isinstance(instr, (ir.LoadElem, ir.StoreElem)) and instr.ref is store.ref:
+            other = _index_key(instr.index)
+            if key is None or other is None:
+                return False
+            if _keys_comparable(key, other) is not False:
+                return False
+        if isinstance(instr, ir.Memcpy):
+            if store.ref in (instr.dst.ref, instr.src.ref):
+                return False
+        if isinstance(instr, ir.CallFn):
+            return False
+    return True
+
+
+def _available_at(
+    dom: DominatorTree, value: ir.Value, block: ir.Block, before: ir.Instr
+) -> bool:
+    if not isinstance(value, ir.Instr):
+        return True
+    def_block = value.block
+    if def_block is None:
+        return False
+    if def_block is block:
+        return block.instrs.index(value) < block.instrs.index(before)
+    return dom.dominates(def_block, block)

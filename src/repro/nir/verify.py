@@ -1,0 +1,129 @@
+"""The NIR verifier.
+
+Run after construction and after every pass (the pass manager enforces
+this): catches malformed CFGs, dangling values, def-before-use violations
+and phi inconsistencies early, the way ``opt -verify`` does for LLVM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.errors import IrError
+from repro.nir import ir
+from repro.nir.cfg import DominatorTree, reverse_postorder
+
+
+def verify_function(fn: ir.Function) -> None:
+    if not fn.blocks:
+        raise IrError(f"{fn.name}: function has no blocks")
+    _verify_terminators(fn)
+    _verify_phis(fn)
+    _verify_dominance(fn)
+
+
+def verify_module(module: ir.Module) -> None:
+    for fn in module.functions.values():
+        verify_function(fn)
+
+
+def _verify_terminators(fn: ir.Function) -> None:
+    block_set = set(fn.blocks)
+    for block in fn.blocks:
+        term = block.terminator
+        if term is None:
+            raise IrError(f"{fn.name}/{block.label}: missing terminator")
+        for instr in block.instrs[:-1]:
+            if instr.is_terminator:
+                raise IrError(
+                    f"{fn.name}/{block.label}: terminator {instr.render()} "
+                    "in the middle of a block"
+                )
+        for succ in block.successors():
+            if succ not in block_set:
+                raise IrError(
+                    f"{fn.name}/{block.label}: successor {succ.label} not in function"
+                )
+        for instr in block.instrs:
+            if instr.block is not block:
+                raise IrError(
+                    f"{fn.name}/{block.label}: instruction {instr.render()} has "
+                    f"stale block pointer"
+                )
+
+
+def _verify_phis(fn: ir.Function) -> None:
+    preds = fn.predecessors()
+    for block in fn.blocks:
+        seen_non_phi = False
+        for instr in block.instrs:
+            if isinstance(instr, ir.Phi):
+                if seen_non_phi:
+                    raise IrError(
+                        f"{fn.name}/{block.label}: phi after non-phi instruction"
+                    )
+                incoming_blocks = [b for _, b in instr.incoming]
+                if set(incoming_blocks) != set(preds[block]):
+                    raise IrError(
+                        f"{fn.name}/{block.label}: phi %{instr.id} incoming blocks "
+                        f"{[b.label for b in incoming_blocks]} != predecessors "
+                        f"{[b.label for b in preds[block]]}"
+                    )
+                if len(incoming_blocks) != len(set(incoming_blocks)):
+                    raise IrError(
+                        f"{fn.name}/{block.label}: phi %{instr.id} duplicate "
+                        "incoming block"
+                    )
+            else:
+                seen_non_phi = True
+
+
+def _verify_dominance(fn: ir.Function) -> None:
+    """Every use of an instruction result must be dominated by its def."""
+    dom = DominatorTree(fn)
+    reachable = set(dom.rpo)
+    positions: Dict[ir.Instr, int] = {}
+    for block in fn.blocks:
+        for idx, instr in enumerate(block.instrs):
+            positions[instr] = idx
+    for block in fn.blocks:
+        if block not in reachable:
+            continue
+        for instr in block.instrs:
+            if isinstance(instr, ir.Phi):
+                for value, pred in instr.incoming:
+                    _check_phi_use(fn, dom, instr, value, pred, positions)
+                continue
+            for op in instr.operands:
+                if not isinstance(op, ir.Instr):
+                    continue
+                def_block = op.block
+                if def_block is None or def_block not in reachable:
+                    raise IrError(
+                        f"{fn.name}: %{instr.id} uses %{op.id} from an "
+                        "unreachable/detached block"
+                    )
+                if def_block is block:
+                    if positions[op] >= positions[instr]:
+                        raise IrError(
+                            f"{fn.name}/{block.label}: %{instr.id} uses %{op.id} "
+                            "before definition"
+                        )
+                elif not dom.dominates(def_block, block):
+                    raise IrError(
+                        f"{fn.name}: %{instr.id} in {block.label} uses %{op.id} "
+                        f"defined in non-dominating {def_block.label}"
+                    )
+
+
+def _check_phi_use(fn, dom, phi, value, pred, positions) -> None:
+    if not isinstance(value, ir.Instr):
+        return
+    def_block = value.block
+    if def_block is None:
+        raise IrError(f"{fn.name}: phi %{phi.id} uses detached %{value.id}")
+    if not dom.dominates(def_block, pred):
+        raise IrError(
+            f"{fn.name}: phi %{phi.id} incoming %{value.id} from {pred.label} "
+            f"not dominated by def in {def_block.label}"
+        )

@@ -1,0 +1,7 @@
+"""P4-like target: program model, source printer, constraint backend."""
+
+from repro.p4.backend import AcceptanceReport, check_program
+from repro.p4.model import P4Program
+from repro.p4.printer import print_program
+
+__all__ = ["AcceptanceReport", "P4Program", "check_program", "print_program"]

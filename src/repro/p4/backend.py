@@ -1,0 +1,227 @@
+"""The P4 "backend": chip-constraint checking with structured feedback.
+
+The paper's compilation trajectory ends with handing the generated P4
+program to a proprietary backend that accepts or rejects it (S5), and
+names the resulting trial-and-error loop as an open problem (S6). This
+module is our open stand-in: it evaluates a program against an
+:class:`ArchProfile` and either returns an :class:`AcceptanceReport`
+with the measured resource usage, or raises :class:`BackendRejection`
+whose ``reasons`` are machine-readable feedback the driver surfaces.
+
+Resource model
+--------------
+* **stages**: the longest sequential chain of table applies / action
+  calls through the control program (an If gateway shares its stage with
+  the first operation of its branches, so it costs 0 itself);
+* **PHV bits**: all header instances plus all metadata fields;
+* **SRAM**: register array bytes plus table entry budget estimates;
+* **register discipline**: the maximum number of times one register
+  array is touched along any single execution path -- real pipelines
+  allow a single access per array per packet (an RMW pair counts once).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import BackendRejection
+from repro.p4.model import (
+    Action,
+    Apply,
+    ControlNode,
+    Do,
+    IfNode,
+    P4Program,
+    PRegRead,
+    PRegWrite,
+)
+from repro.pisa.arch import ArchProfile
+
+
+class AcceptanceReport:
+    """Resource usage of an accepted program."""
+
+    def __init__(
+        self,
+        program: str,
+        profile: str,
+        stages: int,
+        phv_bits: int,
+        sram_bytes: int,
+        tables: int,
+        actions: int,
+        max_register_accesses: Dict[str, int],
+    ):
+        self.program = program
+        self.profile = profile
+        self.stages = stages
+        self.phv_bits = phv_bits
+        self.sram_bytes = sram_bytes
+        self.tables = tables
+        self.actions = actions
+        self.max_register_accesses = dict(max_register_accesses)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "profile": self.profile,
+            "stages": self.stages,
+            "phv_bits": self.phv_bits,
+            "sram_bytes": self.sram_bytes,
+            "tables": self.tables,
+            "actions": self.actions,
+            "max_register_accesses": dict(self.max_register_accesses),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AcceptanceReport({self.program} on {self.profile}: "
+            f"{self.stages} stages, {self.phv_bits} PHV bits, "
+            f"{self.sram_bytes} SRAM bytes)"
+        )
+
+
+def _action_register_accesses(action: Action) -> Dict[str, int]:
+    """Register accesses of one action; a read+write pair to the same
+    array counts once (single-stage RMW)."""
+    reads: Dict[str, int] = {}
+    writes: Dict[str, int] = {}
+    for prim in action.primitives:
+        if isinstance(prim, PRegRead):
+            reads[prim.reg] = reads.get(prim.reg, 0) + 1
+        elif isinstance(prim, PRegWrite):
+            writes[prim.reg] = writes.get(prim.reg, 0) + 1
+    merged: Dict[str, int] = {}
+    for reg in set(reads) | set(writes):
+        merged[reg] = max(reads.get(reg, 0), writes.get(reg, 0))
+    return merged
+
+
+class _PathCost:
+    __slots__ = ("stages", "reg_accesses")
+
+    def __init__(self, stages: int = 0, reg_accesses: Dict[str, int] = None):
+        self.stages = stages
+        self.reg_accesses = dict(reg_accesses or {})
+
+    def merge_seq(self, other: "_PathCost") -> "_PathCost":
+        out = _PathCost(self.stages + other.stages, self.reg_accesses)
+        for reg, n in other.reg_accesses.items():
+            out.reg_accesses[reg] = out.reg_accesses.get(reg, 0) + n
+        return out
+
+    @staticmethod
+    def max_of(a: "_PathCost", b: "_PathCost") -> "_PathCost":
+        out = _PathCost(max(a.stages, b.stages))
+        for reg in set(a.reg_accesses) | set(b.reg_accesses):
+            out.reg_accesses[reg] = max(
+                a.reg_accesses.get(reg, 0), b.reg_accesses.get(reg, 0)
+            )
+        return out
+
+
+def _cost_of_nodes(program: P4Program, nodes: List[ControlNode]) -> _PathCost:
+    total = _PathCost()
+    for node in nodes:
+        if isinstance(node, Apply):
+            table = program.tables[node.table]
+            accesses: Dict[str, int] = {}
+            for name in set(table.actions + [table.default_action]):
+                action_cost = _action_register_accesses(program.actions[name])
+                for reg, n in action_cost.items():
+                    accesses[reg] = max(accesses.get(reg, 0), n)
+            total = total.merge_seq(_PathCost(1, accesses))
+        elif isinstance(node, Do):
+            accesses = _action_register_accesses(program.actions[node.action])
+            total = total.merge_seq(_PathCost(1, accesses))
+        elif isinstance(node, IfNode):
+            then_cost = _cost_of_nodes(program, node.then_nodes)
+            else_cost = _cost_of_nodes(program, node.else_nodes)
+            total = total.merge_seq(_PathCost.max_of(then_cost, else_cost))
+    return total
+
+
+def check_program(program: P4Program, profile: ArchProfile) -> AcceptanceReport:
+    """Accept or reject *program* against *profile*."""
+    program.validate()
+    reasons: List[str] = []
+
+    cost = _cost_of_nodes(program, program.control)
+    if cost.stages > profile.max_stages:
+        reasons.append(
+            f"requires {cost.stages} pipeline stages, chip has {profile.max_stages}"
+        )
+
+    phv = program.phv_bits()
+    if phv > profile.phv_bits:
+        reasons.append(f"PHV needs {phv} bits, chip provides {profile.phv_bits}")
+
+    sram = sum(reg.byte_size for reg in program.registers.values())
+    sram += sum(t.size * 8 for t in program.tables.values())  # entry estimate
+    if sram > profile.sram_bytes:
+        reasons.append(f"SRAM needs {sram} bytes, chip provides {profile.sram_bytes}")
+
+    if len(program.tables) > profile.max_tables:
+        reasons.append(
+            f"{len(program.tables)} tables exceed the chip's {profile.max_tables}"
+        )
+    if len(program.actions) > profile.max_actions:
+        reasons.append(
+            f"{len(program.actions)} actions exceed the chip's {profile.max_actions}"
+        )
+    if len(program.parser) > profile.max_parser_states:
+        reasons.append(
+            f"{len(program.parser)} parser states exceed the chip's "
+            f"{profile.max_parser_states}"
+        )
+
+    for reg, count in sorted(cost.reg_accesses.items()):
+        if count > profile.max_register_accesses_per_array:
+            reasons.append(
+                f"register {reg!r} is accessed {count}x on one path; the chip "
+                f"allows {profile.max_register_accesses_per_array} access(es) "
+                "per array per packet (split the array or recirculate)"
+            )
+
+    if not profile.supports_mul and _uses_mul(program):
+        reasons.append(
+            "program uses general multiplication; this chip's ALUs only shift"
+        )
+
+    if reasons:
+        raise BackendRejection(reasons)
+    return AcceptanceReport(
+        program.name,
+        profile.name,
+        cost.stages,
+        phv,
+        sram,
+        len(program.tables),
+        len(program.actions),
+        cost.reg_accesses,
+    )
+
+
+def _uses_mul(program: P4Program) -> bool:
+    from repro.p4.model import PAssign, PBin, PExpr, PMux, PUn
+
+    def expr_has_mul(e: PExpr) -> bool:
+        if isinstance(e, PBin):
+            return e.op == "mul" or expr_has_mul(e.lhs) or expr_has_mul(e.rhs)
+        if isinstance(e, PUn):
+            return expr_has_mul(e.operand)
+        if isinstance(e, PMux):
+            return expr_has_mul(e.cond) or expr_has_mul(e.a) or expr_has_mul(e.b)
+        return False
+
+    for action in program.actions.values():
+        for prim in action.primitives:
+            if isinstance(prim, PAssign) and expr_has_mul(prim.expr):
+                return True
+            if isinstance(prim, PRegWrite) and (
+                expr_has_mul(prim.expr) or expr_has_mul(prim.index)
+            ):
+                return True
+            if isinstance(prim, PRegRead) and expr_has_mul(prim.index):
+                return True
+    return False

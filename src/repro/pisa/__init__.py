@@ -1,0 +1,22 @@
+"""PISA switch simulator: PHV, parser, match-action pipeline, deparser."""
+
+from repro.pisa.arch import BMV2, TOFINO_LIKE, ArchProfile, profile_by_name
+from repro.pisa.parser import Deparser, PacketParser
+from repro.pisa.phv import Phv
+from repro.pisa.pipeline import Pipeline, PipelineStats, RegisterState
+from repro.pisa.switch_dev import PisaSwitch, SwitchResult
+
+__all__ = [
+    "BMV2",
+    "TOFINO_LIKE",
+    "ArchProfile",
+    "Deparser",
+    "PacketParser",
+    "Phv",
+    "Pipeline",
+    "PipelineStats",
+    "PisaSwitch",
+    "RegisterState",
+    "SwitchResult",
+    "profile_by_name",
+]

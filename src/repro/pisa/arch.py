@@ -1,0 +1,87 @@
+"""PISA architecture profiles.
+
+Chip constraints are what make the paper's backend accept/reject step
+real (S5: "chip constraints are not publicly available... The final P4
+program is given to a P4 backend to eventually accept/reject it").
+A profile captures the budget a target chip gives a program; the
+:mod:`repro.p4.backend` checks generated programs against one.
+
+Two built-in profiles:
+
+* :data:`BMV2` -- a software-switch-like target: effectively unlimited
+  stages and PHV, general multiplication, any number of accesses to a
+  register array per packet. This is the prototype target (paper S6
+  scopes the early prototype to a software/UDP environment).
+* :data:`TOFINO_LIKE` -- a hardware-flavoured target: 12 stages, a small
+  PHV, **one access per register array per packet** (the constraint that
+  forces NetCache/SwitchML-style value splitting across arrays), and no
+  general multiply in the ALU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ArchProfile:
+    def __init__(
+        self,
+        name: str,
+        max_stages: int,
+        phv_bits: int,
+        sram_bytes: int,
+        max_tables: int,
+        max_table_entries: int,
+        max_actions: int,
+        max_register_accesses_per_array: int,
+        supports_mul: bool,
+        max_parser_states: int = 32,
+    ):
+        self.name = name
+        self.max_stages = max_stages
+        self.phv_bits = phv_bits
+        self.sram_bytes = sram_bytes
+        self.max_tables = max_tables
+        self.max_table_entries = max_table_entries
+        self.max_actions = max_actions
+        self.max_register_accesses_per_array = max_register_accesses_per_array
+        self.supports_mul = supports_mul
+        self.max_parser_states = max_parser_states
+
+    def __repr__(self) -> str:
+        return f"ArchProfile({self.name})"
+
+
+BMV2 = ArchProfile(
+    name="bmv2",
+    max_stages=512,
+    phv_bits=1 << 20,
+    sram_bytes=1 << 26,  # 64 MiB
+    max_tables=512,
+    max_table_entries=1 << 20,
+    max_actions=4096,
+    max_register_accesses_per_array=1 << 16,
+    supports_mul=True,
+)
+
+TOFINO_LIKE = ArchProfile(
+    name="tofino-like",
+    max_stages=12,
+    phv_bits=4096,
+    sram_bytes=12 * 128 * 1024,
+    max_tables=96,
+    max_table_entries=1 << 16,
+    max_actions=512,
+    max_register_accesses_per_array=1,
+    supports_mul=False,
+)
+
+PROFILES = {p.name: p for p in (BMV2, TOFINO_LIKE)}
+
+
+def profile_by_name(name: Optional[str]) -> ArchProfile:
+    if name is None:
+        return BMV2
+    if name not in PROFILES:
+        raise KeyError(f"unknown architecture profile {name!r}")
+    return PROFILES[name]

@@ -1,0 +1,89 @@
+"""The programmable packet parser and deparser.
+
+Bit-accurate: header fields are extracted most-significant-bit first from
+the byte stream (network order), exactly as a PISA parser TCAM would, and
+the deparser re-serializes every valid header followed by any unparsed
+payload bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import PisaError
+from repro.p4.model import P4Program, ParseState
+from repro.pisa.phv import Phv
+from repro.util.bits import BitReader, BitWriter
+
+
+class PacketParser:
+    """Executes the program's parse graph over raw bytes into a PHV."""
+
+    MAX_STATES = 64  # guards against parse-graph cycles
+
+    def __init__(self, program: P4Program):
+        self.program = program
+        self._states = {s.name: s for s in program.parser}
+        if program.parser and "start" not in self._states:
+            raise PisaError("parse graph has no 'start' state")
+
+    def parse(self, data: bytes) -> Phv:
+        phv = Phv(self.program)
+        reader = BitReader(data)
+        if not self.program.parser:
+            phv.payload_rest = data
+            return phv
+        state: Optional[ParseState] = self._states["start"]
+        steps = 0
+        while state is not None:
+            steps += 1
+            if steps > self.MAX_STATES:
+                raise PisaError("parse graph did not terminate")
+            for instance in state.extracts:
+                self._extract(phv, reader, instance)
+            next_name = state.default_next
+            if state.select_field is not None:
+                key = phv.read(state.select_field)
+                for value, target in state.transitions:
+                    if key == value:
+                        next_name = target
+                        break
+            if next_name in ("accept", "reject"):
+                if next_name == "reject":
+                    raise PisaError("parser rejected packet")
+                break
+            state = self._states.get(next_name)
+            if state is None:
+                raise PisaError(f"parser: unknown state {next_name!r}")
+        phv.payload_rest = reader.rest()
+        return phv
+
+    def _extract(self, phv: Phv, reader: BitReader, instance: str) -> None:
+        htype = self.program.instance_type(instance)
+        if reader.bits_left < htype.bit_width:
+            raise PisaError(
+                f"packet too short for header {instance!r}: need "
+                f"{htype.bit_width} bits, have {reader.bits_left}"
+            )
+        phv.set_valid(instance)
+        for field in htype.fields:
+            phv.fields[f"{instance}.{field.name}"] = reader.read(field.bits)
+
+
+class Deparser:
+    """Re-serializes valid headers (program deparser order) + payload."""
+
+    def __init__(self, program: P4Program):
+        self.program = program
+
+    def deparse(self, phv: Phv) -> bytes:
+        writer = BitWriter()
+        for instance in self.program.deparser:
+            if not phv.is_valid(instance):
+                continue
+            htype = self.program.instance_type(instance)
+            for field in htype.fields:
+                writer.write(
+                    phv.fields.get(f"{instance}.{field.name}", 0), field.bits
+                )
+        return writer.to_bytes() + phv.payload_rest

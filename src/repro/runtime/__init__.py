@@ -1,0 +1,9 @@
+"""libncrt: the NCL host runtime -- kernel invocation, windowing,
+control-plane access, and cluster deployment."""
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.controller import Controller
+from repro.runtime.host_rt import NclHost
+from repro.runtime.hostexec import HostProgram
+
+__all__ = ["Cluster", "Controller", "HostProgram", "NclHost"]

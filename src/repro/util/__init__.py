@@ -1,0 +1,19 @@
+"""Shared low-level helpers (fixed-width integer semantics, hashing)."""
+
+from repro.util.intops import (
+    mask,
+    sign_extend,
+    to_unsigned,
+    wrap,
+    wrap_signed,
+    wrap_unsigned,
+)
+
+__all__ = [
+    "mask",
+    "sign_extend",
+    "to_unsigned",
+    "wrap",
+    "wrap_signed",
+    "wrap_unsigned",
+]

@@ -1,0 +1,84 @@
+"""Fixed-width integer semantics.
+
+NCL follows C semantics on fixed-width machine integers, and the PISA data
+plane operates on fixed-width PHV fields. Python integers are unbounded, so
+every arithmetic result in the IR interpreter and the PISA simulator is
+normalized through these helpers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def mask(bits: int) -> int:
+    """All-ones mask of the given width."""
+    if bits <= 0:
+        raise ReproError(f"invalid bit width {bits}")
+    return (1 << bits) - 1
+
+
+def wrap_unsigned(value: int, bits: int) -> int:
+    """Reduce *value* modulo 2**bits into [0, 2**bits)."""
+    return value & mask(bits)
+
+
+def wrap_signed(value: int, bits: int) -> int:
+    """Reduce *value* into two's-complement range [-2**(bits-1), 2**(bits-1))."""
+    value &= mask(bits)
+    sign_bit = 1 << (bits - 1)
+    if value & sign_bit:
+        return value - (1 << bits)
+    return value
+
+
+def wrap(value: int, bits: int, signed: bool) -> int:
+    """Wrap to width, respecting signedness."""
+    return wrap_signed(value, bits) if signed else wrap_unsigned(value, bits)
+
+
+def to_unsigned(value: int, bits: int) -> int:
+    """Reinterpret a possibly-negative value as its unsigned bit pattern."""
+    return value & mask(bits)
+
+
+def sign_extend(value: int, from_bits: int, to_bits: int) -> int:
+    """Sign-extend the low *from_bits* of value to *to_bits* (unsigned repr)."""
+    v = wrap_signed(value, from_bits)
+    return to_unsigned(v, to_bits)
+
+
+def shift_amount(amount: int, bits: int) -> int:
+    """Clamp a shift amount the way hardware barrel shifters do (mod width)."""
+    if amount < 0:
+        raise ReproError(f"negative shift amount {amount}")
+    return amount % bits if amount >= bits else amount
+
+
+def checked_udiv(a: int, b: int) -> int:
+    """Unsigned division; raises on divide-by-zero like a trap would."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in data-plane arithmetic")
+    return a // b
+
+
+def checked_sdiv(a: int, b: int) -> int:
+    """Signed division with C truncation-toward-zero semantics."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in data-plane arithmetic")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def checked_srem(a: int, b: int) -> int:
+    """Signed remainder matching C: sign of the dividend."""
+    return a - b * checked_sdiv(a, b)
+
+
+def bit_length_fits(value: int, bits: int, signed: bool) -> bool:
+    """True if *value* is representable at the given width/signedness."""
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    return lo <= value <= hi

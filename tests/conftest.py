@@ -1,0 +1,107 @@
+"""Shared fixtures: canonical NCL programs and compile helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nclc import Compiler, WindowConfig
+
+#: Fig 4 -- AllReduce (multi-round variant used throughout tests).
+ALLREDUCE_SRC = r"""
+struct window { unsigned len; };
+_net_ _at_("s1") int accum[DATA_LEN] = {0};
+_net_ _at_("s1") unsigned count[DATA_LEN / WIN_LEN] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+
+_net_ _out_ void allreduce(int *data) {
+  unsigned base = window.seq * window.len;
+  for (unsigned i = 0; i < window.len; ++i)
+    accum[base + i] += data[i];
+  if (++count[window.seq] == nworkers) {
+    memcpy(data, &accum[base], window.len * 4);
+    count[window.seq] = 0; _bcast();
+  } else { _drop(); }
+}
+
+_net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
+  for (unsigned i = 0; i < window.len; ++i)
+    hdata[window.seq * window.len + i] = data[i];
+  if (window.last) *done = true;
+}
+"""
+
+#: Fig 5 -- KVS cache.
+KVS_SRC = r"""
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, CACHE_SIZE> Idx;
+_net_ _at_("s1") unsigned Cache[CACHE_SIZE][VAL_WORDS] = {{0}};
+_net_ _at_("s1") bool Valid[CACHE_SIZE] = {false};
+
+_net_ _out_ void query(uint64_t key, unsigned *val, bool update) {
+  if (window.from != SERVER && update) {
+    if (auto *idx = Idx[key]) Valid[*idx] = false;
+  } else if (window.from != SERVER) {
+    if (auto *idx = Idx[key]) {
+      if (Valid[*idx]) {
+        memcpy(val, Cache[*idx], VAL_WORDS * 4); _reflect(); } }
+  } else if (update) {
+    if (auto *idx = Idx[key]) {
+      memcpy(Cache[*idx], val, VAL_WORDS * 4);
+      Valid[idx] = true; }
+    _drop();
+  } else { }
+}
+"""
+
+ALLREDUCE_DEFINES = {"DATA_LEN": 64, "WIN_LEN": 4}
+KVS_DEFINES = {"CACHE_SIZE": 16, "VAL_WORDS": 4, "SERVER": 2}
+
+STAR_AND = """
+host w0
+host w1
+switch s1
+link w0 s1
+link w1 s1
+"""
+
+KVS_AND = """
+host c0
+host c1
+host server
+switch s1
+link c0 s1
+link c1 s1
+link server s1
+"""
+
+
+def frontend_unit(source: str, defines=None):
+    from repro.ncl import frontend
+
+    return frontend(source, defines=defines)
+
+
+def lowered_module(source: str, defines=None):
+    from repro.ncl import frontend
+    from repro.nir.lower import lower_unit
+
+    return lower_unit(frontend(source, defines=defines))
+
+
+@pytest.fixture(scope="session")
+def allreduce_program():
+    return Compiler().compile(
+        ALLREDUCE_SRC,
+        and_text=STAR_AND,
+        windows={"allreduce": WindowConfig(mask=(4,), ext={"len": 4})},
+        defines=ALLREDUCE_DEFINES,
+    )
+
+
+@pytest.fixture(scope="session")
+def kvs_program():
+    return Compiler().compile(
+        KVS_SRC,
+        and_text=KVS_AND,
+        windows={"query": WindowConfig(mask=(1, 4, 1))},
+        defines=KVS_DEFINES,
+    )

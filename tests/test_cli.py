@@ -1,0 +1,86 @@
+"""The nclc command-line interface."""
+
+import json
+
+import pytest
+
+from repro.nclc.__main__ import main
+
+from tests.conftest import ALLREDUCE_SRC, KVS_SRC, STAR_AND
+
+
+@pytest.fixture()
+def workdir(tmp_path):
+    (tmp_path / "prog.ncl").write_text(ALLREDUCE_SRC)
+    (tmp_path / "net.and").write_text(STAR_AND)
+    return tmp_path
+
+
+def run_cli(workdir, *extra):
+    return main(
+        [
+            str(workdir / "prog.ncl"),
+            "--and",
+            str(workdir / "net.and"),
+            "-o",
+            str(workdir / "build"),
+            "--window",
+            "allreduce=4",
+            "--ext",
+            "len=4",
+            "-D",
+            "DATA_LEN=64",
+            "-D",
+            "WIN_LEN=4",
+            *extra,
+        ]
+    )
+
+
+class TestCli:
+    def test_successful_compile_writes_artifacts(self, workdir, capsys):
+        assert run_cli(workdir) == 0
+        out = capsys.readouterr().out
+        assert "ACCEPTED" in out
+        build = workdir / "build"
+        assert (build / "s1.p4").exists()
+        report = json.loads((build / "s1.report.json").read_text())
+        assert report["profile"] == "bmv2"
+        assert report["stages"] >= 1
+        layouts = json.loads((build / "ncp_layouts.json").read_text())
+        assert layouts["allreduce"]["kernel_id"] == 1
+        assert layouts["allreduce"]["chunks"][0]["count"] == 4
+
+    def test_tofino_with_split_accepts_and_records(self, workdir):
+        assert run_cli(workdir, "--profile", "tofino-like") == 0
+        report = json.loads(
+            (workdir / "build" / "s1.report.json").read_text()
+        )
+        assert report["splits"] and report["splits"][0]["array"] == "accum"
+
+    def test_tofino_without_split_rejects(self, workdir, capsys):
+        rc = run_cli(workdir, "--profile", "tofino-like", "--no-split")
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "REJECTED" in err and "reg_accum" in err
+
+    def test_conformance_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ncl"
+        bad.write_text(
+            "_net_ _out_ void k(unsigned *d) {"
+            " for (unsigned i = 0; i < d[0]; ++i) d[1] += 1; }"
+        )
+        rc = main([str(bad), "--window", "k=4"])
+        assert rc == 1
+        assert "not provably constant" in capsys.readouterr().err
+
+    def test_syntax_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ncl"
+        bad.write_text("_net_ _out_ void k(int *d) { d[0] = ; }")
+        rc = main([str(bad)])
+        assert rc == 1
+
+    def test_dump_ir_prints_source(self, workdir, capsys):
+        assert run_cli(workdir, "--dump-ir") == 0
+        out = capsys.readouterr().out
+        assert "control Ingress" in out

@@ -1,0 +1,123 @@
+"""Differential compiler fuzzing.
+
+Generates random NCL kernels (arithmetic over window data, switch state,
+window metadata; nested branches; constant loops), compiles them through
+the full nclc pipeline, and replays random window streams through the
+compiled PISA program and the NIR reference interpreter side by side.
+Any divergence in window data, forwarding verdicts, or register state is
+a compiler bug.
+"""
+
+import random
+
+import pytest
+
+from repro.nclc import Compiler, WindowConfig
+
+from tests.test_codegen import DifferentialRig
+
+WINDOW = 4
+STATE_LEN = 16
+
+
+class KernelFuzzer:
+    """Random kernel source generator (deterministic per seed)."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        self.depth = 0
+
+    def expr(self, depth: int = 0) -> str:
+        r = self.rng
+        leaves = [
+            lambda: f"d[{r.randrange(WINDOW)}]",
+            lambda: f"S[{r.randrange(STATE_LEN)}]",
+            lambda: str(r.randrange(0, 64)),
+            lambda: "window.seq",
+            lambda: "limit",
+        ]
+        if depth >= 3 or r.random() < 0.4:
+            return r.choice(leaves)()
+        op = r.choice(["+", "-", "*", "&", "|", "^", ">>", "<<"])
+        lhs = self.expr(depth + 1)
+        rhs = self.expr(depth + 1)
+        if op in (">>", "<<"):
+            rhs = str(r.randrange(0, 8))  # keep shifts well-formed
+        return f"({lhs} {op} {rhs})"
+
+    def cond(self) -> str:
+        op = self.rng.choice(["<", ">", "==", "!=", "<=", ">="])
+        return f"({self.expr(2)} {op} {self.expr(2)})"
+
+    def stmt(self, depth: int = 0) -> str:
+        r = self.rng
+        roll = r.random()
+        if roll < 0.35:
+            return f"d[{r.randrange(WINDOW)}] = {self.expr()};"
+        if roll < 0.6:
+            return f"S[{r.randrange(STATE_LEN)}] = {self.expr()};"
+        if roll < 0.7:
+            return f"S[{r.randrange(STATE_LEN)}] += {self.expr(2)};"
+        if roll < 0.85 and depth < 2:
+            then = " ".join(self.stmt(depth + 1) for _ in range(r.randrange(1, 3)))
+            if r.random() < 0.5:
+                other = " ".join(self.stmt(depth + 1) for _ in range(r.randrange(1, 3)))
+                return f"if {self.cond()} {{ {then} }} else {{ {other} }}"
+            return f"if {self.cond()} {{ {then} }}"
+        if roll < 0.93 and depth < 1:
+            n = r.randrange(1, 4)
+            body = " ".join(self.stmt(depth + 2) for _ in range(r.randrange(1, 3)))
+            var = f"i{r.randrange(1000)}"
+            return (
+                f"for (unsigned {var} = 0; {var} < {n}; ++{var}) {{ "
+                + body.replace("window.seq", f"({var} + window.seq)")
+                + " }"
+            )
+        return self.rng.choice(["_drop();", "_bcast();", "_reflect();", ""])
+
+    def kernel(self) -> str:
+        body = "\n  ".join(self.stmt() for _ in range(self.rng.randrange(3, 8)))
+        return (
+            f"_net_ _at_(\"s1\") unsigned S[{STATE_LEN}] = {{0}};\n"
+            '_net_ _at_("s1") _ctrl_ unsigned limit;\n'
+            "_net_ _out_ void fuzzed(unsigned *d) {\n"
+            f"  {body}\n"
+            "}\n"
+        )
+
+
+AND = "host h0\nhost h1\nswitch s1\nlink h0 s1\nlink s1 h1"
+
+
+@pytest.mark.parametrize("seed", range(24))
+def test_fuzzed_kernel_differential(seed):
+    source = KernelFuzzer(seed).kernel()
+    try:
+        program = Compiler().compile(
+            source,
+            and_text=AND,
+            windows={"fuzzed": WindowConfig(mask=(WINDOW,))},
+        )
+    except Exception as exc:  # rejected programs are fine; miscompiles are not
+        from repro.errors import BackendRejection, ConformanceError
+
+        assert isinstance(exc, (BackendRejection, ConformanceError)), (
+            f"unexpected compile failure for seed {seed}:\n{source}\n{exc}"
+        )
+        return
+    rig = DifferentialRig(program, "fuzzed")
+    rig.set_ctrl("limit", seed * 3 + 1)
+    rng = random.Random(seed ^ 0xF00D)
+    for i in range(25):
+        meta = {
+            "seq": rng.randrange(8),
+            "from": rng.randrange(2),
+            "last": rng.randrange(2),
+        }
+        chunk = [rng.randrange(0, 2**32) for _ in range(WINDOW)]
+        try:
+            rig.run_window(meta, [chunk])
+        except AssertionError:
+            raise AssertionError(
+                f"divergence for seed {seed} at window {i}:\n{source}"
+            )

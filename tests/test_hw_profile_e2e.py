@@ -1,0 +1,82 @@
+"""End-to-end runs on the hardware-flavoured (tofino-like) profile:
+the arch-transformed programs must behave identically to the bmv2 ones
+through the full cluster stack, and the controller must see through the
+register splits."""
+
+import pytest
+
+from repro.apps.allreduce import AllReduceJob
+from repro.apps.kvs_cache import KvsCluster
+from repro.apps.workloads import random_arrays, value_words, zipf_keys
+
+
+class TestAllReduceOnHardwareProfile:
+    def test_round_correctness(self):
+        job = AllReduceJob(3, 64, 8, profile="tofino-like")
+        arrays = random_arrays(3, 64, seed=5)
+        results, _ = job.run_round(arrays)
+        expected = AllReduceJob.expected(arrays)
+        assert all(r == expected for r in results)
+
+    def test_splits_were_performed(self):
+        job = AllReduceJob(2, 32, 4, profile="tofino-like")
+        splits = job.program.split_info["s1"]
+        assert {s.name for s in splits} == {"accum"}
+        report = job.program.reports["s1"]
+        assert all(v <= 1 for v in report.max_register_accesses.values())
+
+    def test_register_dump_reassembles_logical_array(self):
+        job = AllReduceJob(1, 16, 4, profile="tofino-like", multiround=False)
+        arrays = [[i + 1 for i in range(16)]]
+        job.run_round(arrays)
+        # accum is physically split into accum__0..3; the controller
+        # presents the logical array.
+        dump = job.cluster.controller.register_dump("accum")
+        assert dump == arrays[0]
+
+    def test_multiround_on_hardware(self):
+        job = AllReduceJob(2, 16, 4, profile="tofino-like", multiround=True)
+        for seed in range(2):
+            arrays = random_arrays(2, 16, seed=seed)
+            results, _ = job.run_round(arrays)
+            assert results[0] == AllReduceJob.expected(arrays)
+
+
+class TestKvsOnHardwareProfile:
+    def test_cache_behaviour_identical(self):
+        kvs = KvsCluster(
+            n_clients=1, cache_size=8, val_words=4, n_keys=64,
+            profile="tofino-like",
+        )
+        kvs.install_hot_keys([1, 2])
+        kvs.get(0, 1)
+        kvs.get(0, 40)
+        kvs.run()
+        hit, miss = kvs.records
+        if not hit.served_by_cache:
+            hit, miss = miss, hit
+        assert hit.value == value_words(1, 4)
+        assert miss.value == value_words(40, 4)
+        assert hit.latency < miss.latency
+
+    def test_cache_register_split_recorded(self):
+        kvs = KvsCluster(
+            n_clients=1, cache_size=8, val_words=4, profile="tofino-like"
+        )
+        names = {s.name for s in kvs.program.split_info["s1"]}
+        assert "Cache" in names
+
+    def test_workload_parity_with_bmv2(self):
+        keys = zipf_keys(60, 64, 1.0, seed=3)
+        outcomes = {}
+        for profile in ("bmv2", "tofino-like"):
+            kvs = KvsCluster(
+                n_clients=1, cache_size=8, val_words=4, n_keys=64,
+                profile=profile,
+            )
+            kvs.install_hot_keys([0, 1, 2, 3])
+            kvs.run_workload(0, keys)
+            outcomes[profile] = [
+                (r.key, r.served_by_cache, tuple(r.value)) for r in kvs.records
+            ]
+        assert outcomes["bmv2"] == outcomes["tofino-like"]

@@ -1,0 +1,126 @@
+"""Fixed-width integer semantics (repro.util.intops)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.util import intops
+
+
+class TestMask:
+    def test_mask_widths(self):
+        assert intops.mask(8) == 0xFF
+        assert intops.mask(16) == 0xFFFF
+        assert intops.mask(32) == 0xFFFFFFFF
+        assert intops.mask(64) == 0xFFFFFFFFFFFFFFFF
+
+    def test_mask_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            intops.mask(0)
+        with pytest.raises(ReproError):
+            intops.mask(-3)
+
+
+class TestWrap:
+    def test_unsigned_wraps_modulo(self):
+        assert intops.wrap_unsigned(256, 8) == 0
+        assert intops.wrap_unsigned(257, 8) == 1
+        assert intops.wrap_unsigned(-1, 8) == 255
+
+    def test_signed_wraps_twos_complement(self):
+        assert intops.wrap_signed(127, 8) == 127
+        assert intops.wrap_signed(128, 8) == -128
+        assert intops.wrap_signed(255, 8) == -1
+        assert intops.wrap_signed(-129, 8) == 127
+
+    def test_wrap_dispatches_on_signedness(self):
+        assert intops.wrap(200, 8, signed=True) == -56
+        assert intops.wrap(200, 8, signed=False) == 200
+
+    @given(st.integers(), st.sampled_from([8, 16, 32, 64]))
+    def test_unsigned_always_in_range(self, value, bits):
+        wrapped = intops.wrap_unsigned(value, bits)
+        assert 0 <= wrapped < (1 << bits)
+
+    @given(st.integers(), st.sampled_from([8, 16, 32, 64]))
+    def test_signed_always_in_range(self, value, bits):
+        wrapped = intops.wrap_signed(value, bits)
+        assert -(1 << (bits - 1)) <= wrapped < (1 << (bits - 1))
+
+    @given(st.integers(), st.sampled_from([8, 16, 32, 64]))
+    def test_signed_unsigned_same_bit_pattern(self, value, bits):
+        assert intops.to_unsigned(
+            intops.wrap_signed(value, bits), bits
+        ) == intops.wrap_unsigned(value, bits)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_wrap_identity_in_range(self, value):
+        assert intops.wrap_unsigned(value, 32) == value
+
+
+class TestSignExtend:
+    def test_extends_negative(self):
+        assert intops.sign_extend(0xFF, 8, 16) == 0xFFFF
+        assert intops.sign_extend(0x80, 8, 32) == 0xFFFFFF80
+
+    def test_positive_unchanged(self):
+        assert intops.sign_extend(0x7F, 8, 32) == 0x7F
+
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_roundtrip_through_wider(self, v):
+        pattern = intops.to_unsigned(v, 8)
+        assert intops.wrap_signed(intops.sign_extend(pattern, 8, 32), 32) == v
+
+
+class TestDivision:
+    def test_udiv(self):
+        assert intops.checked_udiv(7, 2) == 3
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert intops.checked_sdiv(7, 2) == 3
+        assert intops.checked_sdiv(-7, 2) == -3
+        assert intops.checked_sdiv(7, -2) == -3
+        assert intops.checked_sdiv(-7, -2) == 3
+
+    def test_srem_sign_of_dividend(self):
+        assert intops.checked_srem(7, 2) == 1
+        assert intops.checked_srem(-7, 2) == -1
+        assert intops.checked_srem(7, -2) == 1
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            intops.checked_udiv(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            intops.checked_sdiv(1, 0)
+
+    @given(
+        st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        st.integers(min_value=-(2**31), max_value=2**31 - 1).filter(lambda x: x != 0),
+    )
+    def test_c_division_identity(self, a, b):
+        q = intops.checked_sdiv(a, b)
+        r = intops.checked_srem(a, b)
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+
+
+class TestShift:
+    def test_shift_amount_mod_width(self):
+        assert intops.shift_amount(33, 32) == 1
+        assert intops.shift_amount(5, 32) == 5
+
+    def test_negative_shift_raises(self):
+        with pytest.raises(ReproError):
+            intops.shift_amount(-1, 32)
+
+
+class TestFits:
+    def test_unsigned_range(self):
+        assert intops.bit_length_fits(255, 8, signed=False)
+        assert not intops.bit_length_fits(256, 8, signed=False)
+        assert not intops.bit_length_fits(-1, 8, signed=False)
+
+    def test_signed_range(self):
+        assert intops.bit_length_fits(-128, 8, signed=True)
+        assert intops.bit_length_fits(127, 8, signed=True)
+        assert not intops.bit_length_fits(128, 8, signed=True)

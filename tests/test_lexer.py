@@ -1,0 +1,124 @@
+"""NCL lexer."""
+
+import pytest
+
+from repro.errors import NclSyntaxError
+from repro.ncl.lexer import tokenize
+from repro.ncl.tokens import TokenKind
+
+
+def kinds(source, **kw):
+    return [t.kind for t in tokenize(source, **kw)]
+
+
+def texts(source, **kw):
+    return [t.text for t in tokenize(source, **kw) if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_source_is_just_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind is TokenKind.EOF
+
+    def test_identifier_vs_keyword(self):
+        toks = tokenize("int foo")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+
+    def test_ncl_specifiers_are_keywords(self):
+        for spec in ("_net_", "_out_", "_in_", "_ctrl_", "_ext_", "_at_"):
+            assert tokenize(spec)[0].kind is TokenKind.KEYWORD
+
+    def test_underscored_identifier_not_keyword(self):
+        assert tokenize("_netx_")[0].kind is TokenKind.IDENT
+
+    def test_punctuators_longest_match(self):
+        assert texts("a <<= b") == ["a", "<<=", "b"]
+        assert texts("a << b") == ["a", "<<", "b"]
+        assert texts("x++ + ++y") == ["x", "++", "+", "++", "y"]
+        assert texts("ncl::Map") == ["ncl", "::", "Map"]
+
+
+class TestIntLiterals:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0", 0),
+            ("42", 42),
+            ("0x10", 16),
+            ("0XFF", 255),
+            ("0b101", 5),
+            ("010", 8),
+            ("42u", 42),
+            ("42UL", 42),
+            ("1000000000000", 10**12),
+        ],
+    )
+    def test_literal_values(self, text, value):
+        tok = tokenize(text)[0]
+        assert tok.kind is TokenKind.INT_LIT
+        assert tok.value == value
+
+    def test_char_literal(self):
+        tok = tokenize("'A'")[0]
+        assert tok.kind is TokenKind.CHAR_LIT
+        assert tok.value == 65
+
+    def test_char_escapes(self):
+        assert tokenize(r"'\n'")[0].value == 10
+        assert tokenize(r"'\0'")[0].value == 0
+        assert tokenize(r"'\x41'")[0].value == 65
+
+    def test_empty_char_raises(self):
+        with pytest.raises(NclSyntaxError):
+            tokenize("''")
+
+
+class TestStringLiterals:
+    def test_simple(self):
+        tok = tokenize('"s1"')[0]
+        assert tok.kind is TokenKind.STRING_LIT
+        assert tok.value == "s1"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\tb"')[0].value == "a\tb"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(NclSyntaxError):
+            tokenize('"abc')
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(NclSyntaxError):
+            tokenize("/* never closed")
+
+    def test_preprocessor_lines_skipped(self):
+        assert texts("#include <x.h>\nint a;") == ["int", "a", ";"]
+
+    def test_locations_track_lines(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].loc.line == 1 and toks[0].loc.column == 1
+        assert toks[1].loc.line == 2 and toks[1].loc.column == 3
+
+
+class TestDefines:
+    def test_define_substitution(self):
+        toks = tokenize("int a[N];", defines={"N": 16})
+        lit = [t for t in toks if t.kind is TokenKind.INT_LIT]
+        assert len(lit) == 1 and lit[0].value == 16
+
+    def test_defines_do_not_touch_keywords(self):
+        toks = tokenize("int int2;", defines={"int2": 5})
+        assert toks[1].kind is TokenKind.INT_LIT
+
+    def test_unknown_char_raises_with_location(self):
+        with pytest.raises(NclSyntaxError) as exc:
+            tokenize("int a = $;")
+        assert "$" in str(exc.value)

@@ -1,0 +1,143 @@
+"""SSA construction (mem2reg) and the IR verifier."""
+
+import pytest
+
+from repro.errors import IrError
+from repro.nir import ir
+from repro.nir.mem2reg import promote_allocas
+from repro.nir.verify import verify_function, verify_module
+
+from tests.conftest import ALLREDUCE_DEFINES, ALLREDUCE_SRC, lowered_module
+
+
+def promoted(source, defines=None, fn="k"):
+    mod = lowered_module(source, defines)
+    func = mod.functions[fn]
+    promote_allocas(func)
+    verify_function(func)
+    return func
+
+
+class TestPromotion:
+    def test_no_allocas_remain(self):
+        fn = promoted(
+            "_net_ _out_ void k(int *d) { int x = d[0]; d[1] = x + x; }"
+        )
+        assert not [i for i in fn.instructions() if isinstance(i, ir.Alloca)]
+        assert not [i for i in fn.instructions() if isinstance(i, (ir.Load, ir.Store))]
+
+    def test_straightline_no_phi(self):
+        fn = promoted("_net_ _out_ void k(int *d) { int x = 1; x = x + 2; d[0] = x; }")
+        assert not [i for i in fn.instructions() if isinstance(i, ir.Phi)]
+
+    def test_if_join_creates_phi(self):
+        fn = promoted(
+            "_net_ _out_ void k(int *d) {"
+            " int x = 0;"
+            " if (d[0]) x = 1; else x = 2;"
+            " d[1] = x; }"
+        )
+        phis = [i for i in fn.instructions() if isinstance(i, ir.Phi)]
+        assert len(phis) == 1
+        values = sorted(v.value for v, _ in phis[0].incoming if isinstance(v, ir.Const))
+        assert values == [1, 2]
+
+    def test_loop_induction_phi(self):
+        fn = promoted(
+            "_net_ _out_ void k(int *d) {"
+            " for (unsigned i = 0; i < 4; ++i) d[0] += 1; }"
+        )
+        phis = [i for i in fn.instructions() if isinstance(i, ir.Phi)]
+        assert len(phis) >= 1
+
+    def test_one_sided_if_uses_initial_value(self):
+        fn = promoted(
+            "_net_ _out_ void k(int *d) {"
+            " int x = 5;"
+            " if (d[0]) x = 9;"
+            " d[1] = x; }"
+        )
+        phis = [i for i in fn.instructions() if isinstance(i, ir.Phi)]
+        assert len(phis) == 1
+        values = sorted(v.value for v, _ in phis[0].incoming if isinstance(v, ir.Const))
+        assert values == [5, 9]
+
+    def test_allreduce_promotes_cleanly(self):
+        mod = lowered_module(ALLREDUCE_SRC, ALLREDUCE_DEFINES)
+        for fn in mod.functions.values():
+            promote_allocas(fn)
+        verify_module(mod)
+
+    def test_idempotent(self):
+        fn = promoted("_net_ _out_ void k(int *d) { int x = d[0]; d[0] = x; }")
+        assert promote_allocas(fn) == 0
+
+
+class TestVerifier:
+    def test_missing_terminator_detected(self):
+        from repro.ncl.types import VOID
+
+        fn = ir.Function("f", ir.FunctionKind.HELPER, [], VOID)
+        fn.new_block("entry")
+        with pytest.raises(IrError, match="missing terminator"):
+            verify_function(fn)
+
+    def test_use_before_def_detected(self):
+        from repro.ncl.types import I32, VOID
+
+        fn = ir.Function("f", ir.FunctionKind.HELPER, [], VOID)
+        b = fn.new_block("entry")
+        add = ir.BinOp("add", ir.Const(I32, 1), ir.Const(I32, 2), I32)
+        dead = ir.BinOp("add", add, ir.Const(I32, 1), I32)
+        # append use before def:
+        b.append(dead)
+        b.append(add)
+        b.append(ir.Ret())
+        with pytest.raises(IrError, match="before definition"):
+            verify_function(fn)
+
+    def test_cross_block_dominance(self):
+        from repro.ncl.types import BOOL, I32, VOID
+
+        fn = ir.Function("f", ir.FunctionKind.HELPER, [], VOID)
+        entry = fn.new_block("entry")
+        left = fn.new_block("left")
+        right = fn.new_block("right")
+        join = fn.new_block("join")
+        cond = entry.append(ir.Cast("bool", ir.Const(I32, 1), BOOL))
+        entry.append(ir.CondBr(cond, left, right))
+        x = left.append(ir.BinOp("add", ir.Const(I32, 1), ir.Const(I32, 2), I32))
+        left.append(ir.Br(join))
+        right.append(ir.Br(join))
+        join.append(ir.BinOp("add", x, ir.Const(I32, 1), I32))  # x doesn't dominate
+        join.append(ir.Ret())
+        with pytest.raises(IrError, match="non-dominating"):
+            verify_function(fn)
+
+    def test_phi_incoming_mismatch(self):
+        from repro.ncl.types import I32, VOID
+
+        fn = ir.Function("f", ir.FunctionKind.HELPER, [], VOID)
+        entry = fn.new_block("entry")
+        join = fn.new_block("join")
+        entry.append(ir.Br(join))
+        phi = ir.Phi(I32)
+        phi.block = join
+        join.instrs.insert(0, phi)  # zero incoming vs one predecessor
+        join.append(ir.Ret())
+        with pytest.raises(IrError, match="phi"):
+            verify_function(fn)
+
+    def test_terminator_mid_block(self):
+        from repro.ncl.types import VOID
+
+        fn = ir.Function("f", ir.FunctionKind.HELPER, [], VOID)
+        entry = fn.new_block("entry")
+        other = fn.new_block("other")
+        entry.instrs.append(ir.Br(other))
+        entry.instrs.append(ir.Ret())
+        for i in entry.instrs:
+            i.block = entry
+        other.append(ir.Ret())
+        with pytest.raises(IrError, match="middle of a block"):
+            verify_function(fn)

@@ -1,0 +1,287 @@
+"""The post-unroll memory optimizations: memcpy expansion, store-to-load
+forwarding, predicated store fusion, and register-array splitting."""
+
+import pytest
+
+from repro.nir import ir
+from repro.nir.interp import DeviceState, run_kernel
+from repro.nir.mem2reg import promote_allocas
+from repro.nir.passes import (
+    eliminate_dead_code,
+    expand_memcpy,
+    fold_constants,
+    forward_stores,
+    inline_calls,
+    merge_conditional_stores,
+    optimize_switch,
+    split_register_arrays,
+    unroll_loops,
+)
+
+from tests.conftest import ALLREDUCE_DEFINES, ALLREDUCE_SRC, lowered_module
+from tests.diffutil import assert_transform_preserves, kernel_module
+
+
+def count(fn, cls):
+    return sum(1 for i in fn.instructions() if isinstance(i, cls))
+
+
+def prepped(source, kernel="k", defines=None, window_spec=None):
+    mod = kernel_module(source, defines)
+    fn = mod.functions[kernel]
+    optimize_switch(fn, window_spec=window_spec or {})
+    return mod, fn
+
+
+class TestMemExpand:
+    def test_constant_memcpy_expands(self):
+        mod = kernel_module(
+            "_net_ int stash[8];\n"
+            "_net_ _out_ void k(int *d) { memcpy(&stash[2], d, 16); }"
+        )
+        fn = mod.functions["k"]
+        inline_calls(fn)
+        promote_allocas(fn)
+        fold_constants(fn)
+        n = expand_memcpy(fn)
+        assert n == 1
+        assert count(fn, ir.Memcpy) == 0
+        assert count(fn, ir.StoreElem) == 4
+        assert count(fn, ir.LoadParam) == 4
+
+    def test_dynamic_memcpy_left_alone(self):
+        mod = kernel_module(
+            "struct window { unsigned len; };\n"
+            "_net_ int stash[8];\n"
+            "_net_ _out_ void k(int *d) { memcpy(stash, d, window.len * 4); }"
+        )
+        fn = mod.functions["k"]
+        inline_calls(fn)
+        promote_allocas(fn)
+        assert expand_memcpy(fn) == 0
+        assert count(fn, ir.Memcpy) == 1
+
+    def test_expansion_preserves_semantics(self):
+        assert_transform_preserves(
+            "_net_ int stash[8] = {9, 9, 9, 9, 9, 9, 9, 9};\n"
+            "_net_ _out_ void k(int *d) {"
+            " memcpy(&stash[1], d, 12);"
+            " memcpy(d, &stash[0], 12); }",
+            "k",
+            lambda fn: (fold_constants(fn), expand_memcpy(fn)),
+            metas=[{}] * 4,
+            pre=lambda fn: (inline_calls(fn), promote_allocas(fn)),
+        )
+
+
+class TestStoreForwarding:
+    def test_rmw_reread_forwarded(self):
+        mod = kernel_module(
+            "_net_ int a[4];\n"
+            "_net_ _out_ void k(int *d) {"
+            " a[d[0] & 3] += 5;"
+            " d[1] = a[d[0] & 3]; }"
+        )
+        fn = mod.functions["k"]
+        inline_calls(fn)
+        promote_allocas(fn)
+        from repro.nir.passes import global_value_numbering
+
+        global_value_numbering(fn)
+        before = count(fn, ir.LoadElem)
+        forwarded = forward_stores(fn)
+        eliminate_dead_code(fn)
+        assert forwarded >= 1
+        assert count(fn, ir.LoadElem) < before
+
+    def test_distinct_offsets_not_confused(self):
+        assert_transform_preserves(
+            "_net_ unsigned a[8];\n"
+            "_net_ _out_ void k(unsigned *d) {"
+            " unsigned base = d[0] & 3;"
+            " a[base + 0] = d[1];"
+            " a[base + 1] = d[2];"
+            " d[3] = a[base + 0];"
+            " d[4] = a[base + 1]; }",
+            "k",
+            forward_stores,
+            metas=[{}] * 5,
+            chunk_len=6,
+            pre=lambda fn: (inline_calls(fn), promote_allocas(fn)),
+        )
+
+    def test_conditional_store_blocks_forwarding(self):
+        mod = kernel_module(
+            "_net_ unsigned a[4];\n"
+            "_net_ _out_ void k(unsigned *d) {"
+            " a[0] = d[0];"
+            " if (d[1]) a[0] = 7;"
+            " d[2] = a[0]; }"
+        )
+        fn = mod.functions["k"]
+        inline_calls(fn)
+        promote_allocas(fn)
+        assert forward_stores(fn) == 0  # the load after the if must survive
+
+    def test_allreduce_memcpy_loads_vanish(self):
+        mod = lowered_module(ALLREDUCE_SRC, ALLREDUCE_DEFINES)
+        fn = mod.functions["allreduce"]
+        optimize_switch(fn, window_spec={"len": 4})
+        # all accum re-reads for the result copy were forwarded:
+        loads = [
+            i for i in fn.instructions()
+            if isinstance(i, ir.LoadElem) and i.ref.name == "accum"
+        ]
+        stores = [
+            i for i in fn.instructions()
+            if isinstance(i, ir.StoreElem) and i.ref.name == "accum"
+        ]
+        assert len(loads) == 4 and len(stores) == 4  # one RMW per element
+
+
+class TestStoreMerge:
+    SRC = (
+        "_net_ unsigned c[8];\n"
+        "_net_ _at_(\"s1\") _ctrl_ unsigned limit;\n"
+        "_net_ _out_ void k(unsigned *d) {"
+        " unsigned slot = d[0] & 7;"
+        " c[slot] += 1;"
+        " if (c[slot] == limit) { c[slot] = 0; _bcast(); }"
+        " else { _drop(); } }"
+    )
+
+    def test_fuses_to_single_access(self):
+        mod = kernel_module(self.SRC)
+        fn = mod.functions["k"]
+        optimize_switch(fn)
+        stores = [
+            i for i in fn.instructions()
+            if isinstance(i, ir.StoreElem) and i.ref.name == "c"
+        ]
+        loads = [
+            i for i in fn.instructions()
+            if isinstance(i, ir.LoadElem) and i.ref.name == "c"
+        ]
+        assert len(stores) == 1
+        assert len(loads) == 1
+        assert count(fn, ir.Select) >= 1
+
+    def test_fusion_preserves_semantics(self):
+        def prepare(state):
+            state.ctrl_write("limit", 3)
+
+        assert_transform_preserves(
+            self.SRC,
+            "k",
+            lambda fn: optimize_switch(fn),
+            metas=[{}] * 12,
+            prepare_state=prepare,
+        )
+
+    def test_both_branches_store(self):
+        assert_transform_preserves(
+            "_net_ unsigned a[4];\n"
+            "_net_ _out_ void k(unsigned *d) {"
+            " a[0] = d[0];"
+            " if (d[1] > 5) { a[0] = 1; } else { a[0] = 2; } }",
+            "k",
+            lambda fn: optimize_switch(fn),
+            metas=[{}] * 8,
+        )
+
+
+class TestRegisterSplitting:
+    def split_allreduce(self, window=4):
+        mod = lowered_module(ALLREDUCE_SRC, ALLREDUCE_DEFINES)
+        fn = mod.functions["allreduce"]
+        optimize_switch(fn, window_spec={"len": window})
+        splits = split_register_arrays(mod, max_accesses=1)
+        return mod, fn, splits
+
+    def test_accum_split_by_window(self):
+        mod, fn, splits = self.split_allreduce()
+        assert [s.name for s in splits] == ["accum"]
+        assert splits[0].stride == 4
+        assert "accum" not in mod.globals
+        for k in range(4):
+            assert f"accum__{k}" in mod.globals
+            assert mod.globals[f"accum__{k}"].total_elements == 16
+
+    def test_split_semantics_via_interpreter(self):
+        mod, fn, splits = self.split_allreduce()
+        state = DeviceState.from_module(mod)
+        state.ctrl_write("nworkers", 2)
+        chunk_a = [1, 2, 3, 4]
+        chunk_b = [10, 20, 30, 40]
+        r1 = run_kernel(mod, "allreduce", state, {"seq": 1, "len": 4, "from": 0, "last": 0}, [chunk_a])
+        r2 = run_kernel(mod, "allreduce", state, {"seq": 1, "len": 4, "from": 1, "last": 0}, [chunk_b])
+        assert r1.fwd is ir.FwdKind.DROP
+        assert r2.fwd is ir.FwdKind.BCAST
+        assert chunk_b == [11, 22, 33, 44]
+        # slot 1 lives at index 1 of each split part
+        for k, want in enumerate([11, 22, 33, 44]):
+            assert state.arrays[f"accum__{k}"][1] == want
+
+    def test_initializers_deinterleaved(self):
+        mod = kernel_module(
+            "_net_ int a[4] = {10, 11, 12, 13};\n"
+            "_net_ _out_ void k(int *d, unsigned base) {"
+            " unsigned b = (base & 1) * 2;"
+            " d[0] = a[b + 0]; d[1] = a[b + 1]; }"
+        )
+        fn = mod.functions["k"]
+        optimize_switch(fn)
+        splits = split_register_arrays(mod, max_accesses=1)
+        assert splits and splits[0].stride == 2
+        assert mod.globals["a__0"].init == [10, 12]
+        assert mod.globals["a__1"].init == [11, 13]
+
+    def test_no_split_when_not_needed(self):
+        mod = kernel_module(
+            "_net_ unsigned total[4];\n"
+            "_net_ _out_ void k(unsigned *d) { total[d[0] & 3] += 1; }"
+        )
+        fn = mod.functions["k"]
+        optimize_switch(fn)
+        assert split_register_arrays(mod, max_accesses=1) == []
+
+    def test_no_split_with_unprovable_base(self):
+        mod = kernel_module(
+            "_net_ unsigned a[8];\n"
+            "_net_ _out_ void k(unsigned *d) {"
+            " unsigned base = d[0] & 7;"  # NOT a multiple of 2
+            " d[1] = a[base + 0] + a[base + 1]; }"
+        )
+        fn = mod.functions["k"]
+        optimize_switch(fn)
+        assert split_register_arrays(mod, max_accesses=1) == []
+
+    def test_end_to_end_tofino_differential(self):
+        """Compiled-with-splitting P4 on the tofino profile behaves like
+        the unsplit reference interpreter."""
+        from repro.nclc import Compiler, WindowConfig
+        from repro.ncp.wire import decode_frame, encode_frame
+        from repro.pisa.switch_dev import PisaSwitch
+
+        from tests.conftest import STAR_AND
+
+        program = Compiler(profile="tofino-like").compile(
+            ALLREDUCE_SRC,
+            and_text=STAR_AND,
+            windows={"allreduce": WindowConfig(mask=(4,), ext={"len": 4})},
+            defines=ALLREDUCE_DEFINES,
+        )
+        sw = PisaSwitch(program.switch_programs["s1"])
+        sw.ctrl_register_write("reg_nworkers", 2)
+        layout = program.layouts["allreduce"]
+        from repro.ncp.wire import node_ip
+
+        for node in range(3):
+            sw.table_insert("ipv4_route", [node_ip(node)], "ipv4_forward", [0])
+        f1 = encode_frame(layout, 0, 2, seq=3, chunks=[[5, 6, 7, 8]], ext_values={"len": 4})
+        f2 = encode_frame(layout, 1, 2, seq=3, chunks=[[1, 1, 1, 1]], ext_values={"len": 4})
+        assert sw.process(f1).verdict == "drop"
+        out = sw.process(f2)
+        assert out.verdict == "bcast"
+        decoded = decode_frame(out.data, {layout.kernel_id: layout})
+        assert decoded.chunks == [[6, 7, 8, 9]]

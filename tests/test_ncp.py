@@ -1,0 +1,195 @@
+"""NCP: wire codec and window machinery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NcpError
+from repro.ncl.types import I32, PointerType, U8, U32, U64
+from repro.ncp.window import Window, Windower
+from repro.ncp.wire import (
+    ChunkLayout,
+    KernelLayout,
+    decode_frame,
+    encode_frame,
+    is_ncp_frame,
+    layout_for_kernel,
+    node_ip,
+)
+
+
+def simple_layout(count=4, bits=32, signed=True, ext=()):
+    return KernelLayout(
+        7, "k", [ChunkLayout("data", count, bits, signed)], ext_fields=list(ext)
+    )
+
+
+class TestLayouts:
+    def test_layout_from_kernel_types(self):
+        layout = layout_for_kernel(
+            1,
+            "query",
+            [("key", U64), ("val", PointerType(U32)), ("update", U8)],
+            mask=(1, 8, 1),
+        )
+        assert [c.count for c in layout.chunks] == [1, 8, 1]
+        assert [c.bits for c in layout.chunks] == [64, 32, 8]
+        assert layout.data_bytes == 8 + 32 + 1
+
+    def test_scalar_param_mask_must_be_one(self):
+        with pytest.raises(NcpError, match="mask entry 1"):
+            layout_for_kernel(1, "k", [("key", U64)], mask=(2,))
+
+    def test_mask_length_mismatch(self):
+        with pytest.raises(NcpError, match="mask length"):
+            layout_for_kernel(1, "k", [("key", U64)], mask=(1, 1))
+
+    def test_payload_field_layout_names(self):
+        layout = simple_layout(2, ext=[("len", 32, False)])
+        names = [n for n, _ in layout.payload_field_layout()]
+        assert names == ["x_len", "d0_0", "d0_1"]
+
+
+class TestFrameCodec:
+    def test_roundtrip_basic(self):
+        layout = simple_layout()
+        frame = encode_frame(layout, 1, 2, seq=5, chunks=[[10, -20, 30, -40]])
+        decoded = decode_frame(frame, {7: layout})
+        assert decoded.seq == 5
+        assert decoded.from_node == 1
+        assert decoded.dst_node == 2
+        assert decoded.chunks == [[10, -20, 30, -40]]
+        assert not decoded.last
+
+    def test_last_flag(self):
+        layout = simple_layout(1)
+        frame = encode_frame(layout, 0, 1, seq=0, chunks=[[1]], last=True)
+        assert decode_frame(frame, {7: layout}).last
+
+    def test_ext_fields_roundtrip(self):
+        layout = simple_layout(1, ext=[("len", 32, False), ("tag", 16, False)])
+        frame = encode_frame(
+            layout, 0, 1, seq=0, chunks=[[1]], ext_values={"len": 9, "tag": 700}
+        )
+        decoded = decode_frame(frame, {7: layout})
+        assert decoded.ext == {"len": 9, "tag": 700}
+
+    def test_missing_ext_raises(self):
+        layout = simple_layout(1, ext=[("len", 32, False)])
+        with pytest.raises(NcpError, match="missing window extension"):
+            encode_frame(layout, 0, 1, seq=0, chunks=[[1]])
+
+    def test_wrong_chunk_count(self):
+        with pytest.raises(NcpError, match="chunks"):
+            encode_frame(simple_layout(), 0, 1, seq=0, chunks=[])
+
+    def test_wrong_element_count(self):
+        with pytest.raises(NcpError, match="elements"):
+            encode_frame(simple_layout(4), 0, 1, seq=0, chunks=[[1, 2]])
+
+    def test_unknown_kernel_id(self):
+        layout = simple_layout(1)
+        frame = encode_frame(layout, 0, 1, seq=0, chunks=[[1]])
+        with pytest.raises(NcpError, match="unknown kernel"):
+            decode_frame(frame, {})
+
+    def test_is_ncp_frame(self):
+        layout = simple_layout(1)
+        frame = encode_frame(layout, 0, 1, seq=0, chunks=[[1]])
+        assert is_ncp_frame(frame)
+        assert not is_ncp_frame(b"\x00" * 64)
+        assert not is_ncp_frame(b"")
+
+    def test_explicit_from_node(self):
+        layout = simple_layout(1)
+        frame = encode_frame(layout, 3, 1, seq=0, chunks=[[1]], from_node=9)
+        assert decode_frame(frame, {7: layout}).from_node == 9
+
+    def test_node_ip_shape(self):
+        assert node_ip(0) == (10 << 24)
+        assert node_ip(5) - node_ip(0) == 5
+
+    @given(
+        st.lists(st.integers(-(2**31), 2**31 - 1), min_size=1, max_size=16),
+        st.integers(0, 2**32 - 1),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, values, seq, last):
+        layout = simple_layout(len(values))
+        frame = encode_frame(layout, 1, 2, seq=seq, chunks=[values], last=last)
+        decoded = decode_frame(frame, {7: layout})
+        assert decoded.chunks == [values]
+        assert decoded.seq == seq and decoded.last == last
+
+    @given(st.lists(st.integers(0, 255), min_size=2, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_u8_chunks(self, values):
+        layout = KernelLayout(9, "b", [ChunkLayout("v", len(values), 8, False)])
+        frame = encode_frame(layout, 0, 1, seq=0, chunks=[values])
+        assert decode_frame(frame, {9: layout}).chunks == [values]
+
+
+class TestWindower:
+    def test_split_mask_2_2(self):
+        w = Windower((2, 2))
+        windows = list(w.split([[1, 2, 3, 4], [10, 20, 30, 40]]))
+        assert len(windows) == 2
+        assert windows[0].chunks == [[1, 2], [10, 20]]
+        assert windows[1].chunks == [[3, 4], [30, 40]]
+        assert windows[1].last and not windows[0].last
+
+    def test_asymmetric_mask(self):
+        w = Windower((1, 3))
+        windows = list(w.split([[1, 2], [10, 20, 30, 40, 50, 60]]))
+        assert len(windows) == 2
+        assert windows[0].chunks == [[1], [10, 20, 30]]
+
+    def test_unaligned_array_rejected(self):
+        with pytest.raises(NcpError, match="not divisible"):
+            Windower((4,)).window_count([[1, 2, 3]])
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(NcpError, match="differing window counts"):
+            Windower((2, 2)).window_count([[1, 2], [1, 2, 3, 4]])
+
+    def test_bad_masks(self):
+        with pytest.raises(NcpError):
+            Windower(())
+        with pytest.raises(NcpError):
+            Windower((0,))
+
+    def test_scatter_reassembles(self):
+        w = Windower((3,))
+        array = list(range(12))
+        windows = list(w.split([array]))
+        rebuilt = w.reassemble(windows, [12])
+        assert rebuilt == [array]
+
+    def test_scatter_out_of_order(self):
+        w = Windower((2,))
+        array = [5, 6, 7, 8]
+        windows = list(w.split([array]))
+        rebuilt = w.reassemble(list(reversed(windows)), [4])
+        assert rebuilt == [array]
+
+    def test_window_meta(self):
+        win = Window(3, [[1]], ext={"len": 1}, last=True, from_node=9)
+        assert win.meta() == {"seq": 3, "from": 9, "last": 1, "len": 1}
+
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 5),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_split_partitions_exactly(self, mask_entry, n_windows, n_arrays):
+        """No element lost, duplicated, or reordered -- for any geometry."""
+        w = Windower((mask_entry,) * n_arrays)
+        arrays = [
+            [a * 1000 + i for i in range(mask_entry * n_windows)]
+            for a in range(n_arrays)
+        ]
+        windows = list(w.split(arrays))
+        assert len(windows) == n_windows
+        rebuilt = w.reassemble(windows, [len(a) for a in arrays])
+        assert rebuilt == arrays

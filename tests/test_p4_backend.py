@@ -1,0 +1,194 @@
+"""P4 program model, printer, and the constraint-checking backend."""
+
+import pytest
+
+from repro.errors import BackendRejection, PisaError
+from repro.p4.backend import check_program
+from repro.p4.model import (
+    Action,
+    Apply,
+    Do,
+    HeaderType,
+    IfNode,
+    P4Program,
+    PAssign,
+    PBin,
+    PConst,
+    PField,
+    PRegRead,
+    PRegWrite,
+    RegisterArray,
+    Table,
+)
+from repro.p4.printer import print_program
+from repro.pisa.arch import ArchProfile, BMV2, TOFINO_LIKE, profile_by_name
+
+
+def program_with_chain(n_actions: int, reg_hits_per_action=0):
+    p = P4Program("chain")
+    p.add_header(HeaderType("h_t", [("a", 8)]), "h")
+    p.deparser = ["h"]
+    if reg_hits_per_action:
+        p.add_register(RegisterArray("r", 32, 16))
+    for i in range(n_actions):
+        prims = [PAssign("meta.fwd", PConst(0, 8))]
+        for _ in range(reg_hits_per_action):
+            prims.append(PRegRead("meta.fwd", "r", PConst(0, 32)))
+        p.add_action(Action(f"a{i}", prims))
+    p.control = [Do(f"a{i}") for i in range(n_actions)]
+    return p
+
+
+class TestModel:
+    def test_duplicate_names_rejected(self):
+        p = P4Program("x")
+        p.add_action(Action("a", []))
+        with pytest.raises(PisaError, match="duplicate"):
+            p.add_action(Action("a", []))
+
+    def test_table_requires_known_actions(self):
+        p = P4Program("x")
+        with pytest.raises(PisaError, match="unknown action"):
+            p.add_table(Table("t", [], [], "missing"))
+
+    def test_header_must_be_byte_aligned(self):
+        with pytest.raises(PisaError, match="byte-aligned"):
+            HeaderType("bad", [("x", 3)])
+
+    def test_field_bits_lookup(self):
+        p = P4Program("x")
+        p.add_header(HeaderType("h_t", [("a", 16)]), "h")
+        assert p.field_bits("h.a") == 16
+        assert p.field_bits("meta.fwd") == 8
+        with pytest.raises(PisaError):
+            p.field_bits("h.nope")
+
+    def test_phv_bits_accounting(self):
+        p = P4Program("x")
+        base = p.phv_bits()
+        p.add_header(HeaderType("h_t", [("a", 16)]), "h")
+        p.add_metadata("extra", 32)
+        assert p.phv_bits() == base + 16 + 32
+
+    def test_metadata_width_conflict(self):
+        p = P4Program("x")
+        p.add_metadata("f", 8)
+        p.add_metadata("f", 8)  # same width fine
+        with pytest.raises(PisaError, match="redefined"):
+            p.add_metadata("f", 16)
+
+
+class TestBackend:
+    def test_accepts_small_program(self):
+        report = check_program(program_with_chain(3), BMV2)
+        assert report.stages == 3
+
+    def test_rejects_too_many_stages(self):
+        with pytest.raises(BackendRejection, match="stages"):
+            check_program(program_with_chain(13), TOFINO_LIKE)
+
+    def test_if_branches_take_max(self):
+        p = program_with_chain(2)
+        # wrap second action in a branch against an empty else
+        p.control = [
+            Do("a0"),
+            IfNode(PField("meta.fwd"), [Do("a1")], []),
+        ]
+        report = check_program(p, BMV2)
+        assert report.stages == 2
+
+    def test_register_access_discipline(self):
+        p = program_with_chain(1, reg_hits_per_action=2)
+        with pytest.raises(BackendRejection, match="register"):
+            check_program(p, TOFINO_LIKE)
+        report = check_program(p, BMV2)
+        assert report.max_register_accesses["r"] == 2
+
+    def test_rmw_counts_once(self):
+        p = P4Program("rmw")
+        p.add_register(RegisterArray("r", 32, 4))
+        p.add_action(
+            Action(
+                "bump",
+                [
+                    PRegRead("meta.fwd", "r", PConst(0, 32)),
+                    PRegWrite("r", PConst(0, 32), PField("meta.fwd")),
+                ],
+            )
+        )
+        p.control = [Do("bump")]
+        report = check_program(p, TOFINO_LIKE)
+        assert report.max_register_accesses["r"] == 1
+
+    def test_rejects_multiplication_on_tofino_like(self):
+        p = P4Program("mul")
+        p.add_action(
+            Action(
+                "m",
+                [PAssign("meta.fwd", PBin("mul", PConst(3, 8), PConst(5, 8), 8))],
+            )
+        )
+        p.control = [Do("m")]
+        with pytest.raises(BackendRejection, match="multiplication"):
+            check_program(p, TOFINO_LIKE)
+        check_program(p, BMV2)
+
+    def test_rejects_oversized_phv(self):
+        tiny = ArchProfile(
+            "tiny", 99, phv_bits=16, sram_bytes=1 << 20, max_tables=9,
+            max_table_entries=99, max_actions=99,
+            max_register_accesses_per_array=9, supports_mul=True,
+        )
+        p = P4Program("big")
+        p.add_header(HeaderType("h_t", [("a", 64)]), "h")
+        p.deparser = ["h"]
+        with pytest.raises(BackendRejection, match="PHV"):
+            check_program(p, tiny)
+
+    def test_rejects_sram_overflow(self):
+        p = P4Program("hog")
+        p.add_register(RegisterArray("big", 32, 10_000_000))
+        with pytest.raises(BackendRejection, match="SRAM"):
+            check_program(p, TOFINO_LIKE)
+
+    def test_rejection_reasons_are_actionable(self):
+        try:
+            check_program(program_with_chain(40, reg_hits_per_action=2), TOFINO_LIKE)
+        except BackendRejection as exc:
+            assert len(exc.reasons) >= 2
+            assert any("stages" in r for r in exc.reasons)
+        else:
+            pytest.fail("expected rejection")
+
+    def test_profile_lookup(self):
+        assert profile_by_name("bmv2") is BMV2
+        assert profile_by_name(None) is BMV2
+        with pytest.raises(KeyError):
+            profile_by_name("magic-chip")
+
+
+class TestPrinter:
+    def test_emits_parsable_structure(self, allreduce_program):
+        src = allreduce_program.switch_sources["s1"]
+        assert "#include <v1model.p4>" in src
+        assert "parser NcpParser" in src
+        assert "control Ingress" in src
+        assert "register<bit<32>>" in src
+        assert "table ipv4_route" in src
+        assert "state parse_ncp" in src
+
+    def test_balanced_braces(self, allreduce_program):
+        src = allreduce_program.switch_sources["s1"]
+        assert src.count("{") == src.count("}")
+
+    def test_kvs_emits_map_table(self, kvs_program):
+        src = kvs_program.switch_sources["s1"]
+        assert "table map_Idx" in src
+        assert "managed by: control-plane" in src
+
+    def test_handwritten_baseline_prints(self):
+        from repro.baselines.p4_netcache import handwritten_p4_source
+
+        src = handwritten_p4_source(16, 4)
+        assert "CacheLookup" in src and "Read0" in src
+        assert src.count("{") == src.count("}")

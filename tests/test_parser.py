@@ -1,0 +1,244 @@
+"""NCL parser: declarations, specifiers, statements, expressions."""
+
+import pytest
+
+from repro.errors import NclSyntaxError
+from repro.ncl import ast
+from repro.ncl.parser import const_eval, parse
+from repro.ncl import types as T
+
+
+class TestGlobals:
+    def test_net_array_with_at(self):
+        prog = parse('_net_ _at_("s1") int accum[64] = {0};')
+        g = prog.globals[0]
+        assert g.is_net and not g.is_ctrl
+        assert g.at_label == "s1"
+        assert g.ty == T.ArrayType(T.I32, 64)
+
+    def test_ctrl_variable(self):
+        prog = parse('_net_ _at_("s1") _ctrl_ unsigned nworkers;')
+        g = prog.globals[0]
+        assert g.is_net and g.is_ctrl
+        assert g.ty == T.U32
+
+    def test_specifier_order_is_free(self):
+        a = parse('_net_ _ctrl_ _at_("s1") unsigned x;').globals[0]
+        b = parse('_net_ _at_("s1") _ctrl_ unsigned x;').globals[0]
+        assert (a.is_ctrl, a.at_label) == (b.is_ctrl, b.at_label)
+
+    def test_2d_array(self):
+        g = parse("_net_ char Cache[256][128];").globals[0]
+        assert g.ty == T.ArrayType(T.ArrayType(T.CHAR, 128), 256)
+
+    def test_map_global(self):
+        g = parse('_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, 256> Idx;').globals[0]
+        assert g.ty == T.MapType(T.U64, T.U8, 256)
+
+    def test_bloom_global(self):
+        g = parse('_net_ _at_("s1") ncl::BloomFilter<1024, 3> BF;').globals[0]
+        assert g.ty == T.BloomFilterType(1024, 3)
+
+    def test_const_dims_with_arithmetic(self):
+        g = parse("int a[DATA/WIN];", defines={"DATA": 64, "WIN": 8}).globals[0]
+        assert g.ty == T.ArrayType(T.I32, 8)
+
+    def test_host_global_plain(self):
+        g = parse("int counter = 3;").globals[0]
+        assert not g.is_net
+
+    def test_braced_init_nested(self):
+        g = parse("int m[2][2] = {{1, 2}, {3, 4}};").globals[0]
+        assert isinstance(g.init, list) and len(g.init) == 2
+
+
+class TestKernels:
+    def test_out_kernel(self):
+        fn = parse("_net_ _out_ void k(int *data) { _drop(); }").functions[0]
+        assert fn.kernel_kind is ast.KernelKind.OUT
+        assert fn.params[0].ty == T.PointerType(T.I32)
+
+    def test_out_kernel_implicit_void(self):
+        fn = parse("_net_ _out_ k(uint64_t key) { }").functions[0]
+        assert fn.ret.is_void
+        assert fn.kernel_kind is ast.KernelKind.OUT
+
+    def test_in_kernel_with_ext(self):
+        fn = parse(
+            "_net_ _in_ void r(int *d, _ext_ int *h, _ext_ bool *done) { }"
+        ).functions[0]
+        assert fn.kernel_kind is ast.KernelKind.IN
+        assert [p.ext for p in fn.params] == [False, True, True]
+
+    def test_kernel_at_location(self):
+        fn = parse('_net_ _out_ _at_("s2") void k(int *d) { }').functions[0]
+        assert fn.at_label == "s2"
+
+    def test_out_without_net_rejected(self):
+        with pytest.raises(NclSyntaxError):
+            parse("_out_ void k(int *d) { }")
+
+    def test_plain_function(self):
+        fn = parse("int add(int a, int b) { return a + b; }").functions[0]
+        assert fn.kernel_kind is None
+        assert fn.ret == T.I32
+
+
+class TestWindowExtension:
+    def test_window_struct(self):
+        prog = parse("struct window { unsigned len; unsigned short tag; };")
+        ext = prog.window_ext
+        assert ext is not None
+        assert ext.fields == [("len", T.U32), ("tag", T.IntType(16, False))]
+
+    def test_other_struct_rejected(self):
+        with pytest.raises(NclSyntaxError):
+            parse("struct foo { int x; };")
+
+    def test_non_scalar_field_rejected(self):
+        with pytest.raises(NclSyntaxError):
+            parse("struct window { int xs[4]; };")
+
+
+def first_stmt(body_src: str) -> ast.Stmt:
+    prog = parse("void f() { " + body_src + " }")
+    return prog.functions[0].body.stmts[0]
+
+
+class TestStatements:
+    def test_if_else_chain(self):
+        stmt = first_stmt("if (1) ; else if (2) ; else ;")
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.orelse, ast.If)
+
+    def test_if_cond_decl(self):
+        prog = parse(
+            '_net_ ncl::Map<uint64_t, uint8_t, 4> M;\n'
+            "_net_ _out_ void k(uint64_t key) { if (auto *idx = M[key]) { } }"
+        )
+        stmt = prog.functions[0].body.stmts[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.cond_decl is not None and stmt.cond_decl.is_auto
+
+    def test_for_loop_parts(self):
+        stmt = first_stmt("for (unsigned i = 0; i < 8; ++i) ;")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.DeclStmt)
+        assert stmt.cond is not None and stmt.step is not None
+
+    def test_while_and_do_while(self):
+        assert isinstance(first_stmt("while (1) ;"), ast.While)
+        desugared = first_stmt("do { } while (0);")
+        assert isinstance(desugared, ast.Block)  # body; while(...)
+
+    def test_break_continue(self):
+        stmt = first_stmt("while (1) { break; }")
+        assert isinstance(stmt.body.stmts[0], ast.Break)
+
+    def test_return_value(self):
+        prog = parse("int f() { return 1 + 2; }")
+        ret = prog.functions[0].body.stmts[0]
+        assert isinstance(ret, ast.Return) and ret.value is not None
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(NclSyntaxError):
+            parse("void f() { int x = 1 }")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(NclSyntaxError):
+            parse("void f() { if (1) {")
+
+
+def expr_of(src: str) -> ast.Expr:
+    stmt = first_stmt(src + ";")
+    assert isinstance(stmt, ast.ExprStmt)
+    return stmt.expr
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = expr_of("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert const_eval(e) == 7
+
+    def test_precedence_shift_vs_relational(self):
+        assert const_eval(expr_of("1 << 2 < 8")) == 1  # (1<<2) < 8
+
+    def test_logical_binding(self):
+        assert const_eval(expr_of("1 || 0 && 0")) == 1  # && binds tighter
+
+    def test_ternary(self):
+        assert const_eval(expr_of("1 ? 10 : 20")) == 10
+
+    def test_unary_chain(self):
+        assert const_eval(expr_of("-~0")) == 1
+        assert const_eval(expr_of("!!5")) == 1
+
+    def test_parenthesized(self):
+        assert const_eval(expr_of("(1 + 2) * 3")) == 9
+
+    def test_assignment_right_assoc(self):
+        e = expr_of("a = b = 1")
+        assert isinstance(e, ast.Assign)
+        assert isinstance(e.value, ast.Assign)
+
+    def test_compound_assign_ops(self):
+        for op in ("+=", "-=", "*=", "&=", "|=", "^=", "<<=", ">>="):
+            e = expr_of(f"a {op} 2")
+            assert isinstance(e, ast.Assign) and e.op == op
+
+    def test_postfix_and_prefix_incdec(self):
+        post = expr_of("a++")
+        pre = expr_of("++a")
+        assert isinstance(post, ast.Unary) and post.postfix
+        assert isinstance(pre, ast.Unary) and not pre.postfix
+
+    def test_index_chain(self):
+        e = expr_of("m[1][2]")
+        assert isinstance(e, ast.Index) and isinstance(e.base, ast.Index)
+
+    def test_member_access(self):
+        e = expr_of("window.seq")
+        assert isinstance(e, ast.Member) and e.field == "seq"
+
+    def test_namespaced_call(self):
+        e = expr_of('ncl::ctrl_wr(x, 16)')
+        assert isinstance(e, ast.Call) and e.name == "ncl::ctrl_wr"
+
+    def test_call_with_braced_list_arg(self):
+        e = expr_of("ncl::out(k, {a, b}, 4)")
+        assert isinstance(e.args[1], ast.Call) and e.args[1].name == "__list__"
+
+    def test_sizeof_folds(self):
+        assert const_eval(expr_of("sizeof(int)")) == 4
+        assert const_eval(expr_of("sizeof(uint64_t)")) == 8
+
+    def test_cast(self):
+        e = expr_of("(unsigned) x")
+        assert isinstance(e, ast.Cast) and e.target == T.U32
+
+    def test_address_of_index(self):
+        e = expr_of("&accum[base]")
+        assert isinstance(e, ast.Unary) and e.op == "&"
+
+
+class TestConstEval:
+    @pytest.mark.parametrize(
+        "src,value",
+        [
+            ("1 + 2 * 3", 7),
+            ("(7 / 2)", 3),
+            ("-7 / 2", -3),
+            ("7 % 3", 1),
+            ("1 << 10", 1024),
+            ("0xFF & 0x0F", 0x0F),
+            ("1 == 1", 1),
+            ("3 > 4", 0),
+            ("5 / 0", None),  # not constant-foldable: leaves the trap
+        ],
+    )
+    def test_values(self, src, value):
+        assert const_eval(expr_of(src)) == value
+
+    def test_identifiers_not_constant(self):
+        assert const_eval(expr_of("x + 1")) is None

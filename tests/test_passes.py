@@ -1,0 +1,439 @@
+"""Optimization passes: unit behaviour + differential semantics checks.
+
+Every transform is validated two ways: structural assertions on the IR
+it produces, and (the stronger guarantee) interpretation before/after on
+randomized windows and states must be observationally identical.
+"""
+
+import pytest
+
+from repro.errors import ConformanceError
+from repro.nir import ir
+from repro.nir.mem2reg import promote_allocas
+from repro.nir.passes import optimize_host, optimize_switch
+from repro.nir.passes.constfold import fold_constants
+from repro.nir.passes.dce import eliminate_dead_code
+from repro.nir.passes.gvn import global_value_numbering
+from repro.nir.passes.inline import inline_calls
+from repro.nir.passes.simplify_cfg import simplify_cfg
+from repro.nir.passes.specialize import specialize_window
+from repro.nir.passes.unroll import unroll_loops
+
+from tests.conftest import ALLREDUCE_DEFINES, ALLREDUCE_SRC, KVS_DEFINES, KVS_SRC
+from tests.diffutil import assert_transform_preserves, kernel_module
+
+
+def count(fn, cls):
+    return sum(1 for i in fn.instructions() if isinstance(i, cls))
+
+
+def prep(fn):
+    inline_calls(fn)
+    promote_allocas(fn)
+
+
+class TestConstFold:
+    def test_folds_arithmetic(self):
+        mod = kernel_module(
+            "_net_ _out_ void k(int *d) { d[0] = (3 + 4) * 2 - 6; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        fold_constants(fn)
+        stores = [i for i in fn.instructions() if isinstance(i, ir.StoreParam)]
+        assert isinstance(stores[0].value, ir.Const)
+        assert stores[0].value.value == 8
+
+    def test_strength_reduces_mul_pow2(self):
+        mod = kernel_module("_net_ _out_ void k(unsigned *d) { d[0] = d[1] * 8; }")
+        fn = mod.functions["k"]
+        prep(fn)
+        fold_constants(fn)
+        eliminate_dead_code(fn)
+        ops = {i.op for i in fn.instructions() if isinstance(i, ir.BinOp)}
+        assert "mul" not in ops and "shl" in ops
+
+    def test_strength_reduces_udiv_and_urem(self):
+        mod = kernel_module(
+            "_net_ _out_ void k(unsigned *d) { d[0] = d[1] / 4; d[2] = d[1] % 4; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        fold_constants(fn)
+        eliminate_dead_code(fn)
+        ops = {i.op for i in fn.instructions() if isinstance(i, ir.BinOp)}
+        assert "udiv" not in ops and "urem" not in ops
+        assert {"lshr", "and"} <= ops
+
+    def test_identity_simplifications(self):
+        mod = kernel_module(
+            "_net_ _out_ void k(unsigned *d) {"
+            " d[0] = d[1] + 0; d[2] = d[1] * 1; d[3] = d[1] & 0; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        fold_constants(fn)
+        eliminate_dead_code(fn)
+        assert count(fn, ir.BinOp) == 0  # all folded away
+
+    def test_no_fold_of_division_by_zero(self):
+        mod = kernel_module("_net_ _out_ void k(int *d) { d[0] = 1 / 0; }")
+        fn = mod.functions["k"]
+        prep(fn)
+        fold_constants(fn)
+        assert count(fn, ir.BinOp) == 1  # trap preserved
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_semantics_preserved(self, seed):
+        assert_transform_preserves(
+            "_net_ _out_ void k(int *d, unsigned *u) {"
+            " d[0] = d[1] * 4 + (10 - 3);"
+            " u[0] = (u[1] | 0) ^ (u[2] & 0xFFFFFFFF);"
+            " d[2] = d[3] == d[3] ? 1 : u[3] > 2; }",
+            "k",
+            fold_constants,
+            metas=[{}] * 5,
+            seed=seed,
+            pre=prep,
+        )
+
+
+class TestDce:
+    def test_removes_unused_pure(self):
+        mod = kernel_module(
+            "_net_ _out_ void k(int *d) { int unused = d[0] * 37; d[1] = 1; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        eliminate_dead_code(fn)
+        assert count(fn, ir.BinOp) == 0
+        assert count(fn, ir.LoadParam) == 0
+
+    def test_keeps_side_effects(self):
+        mod = kernel_module(
+            "_net_ unsigned total[1];\n"
+            "_net_ _out_ void k(unsigned *d) { total[0] += d[0]; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        eliminate_dead_code(fn)
+        assert count(fn, ir.StoreElem) == 1
+
+    def test_transitive_removal(self):
+        mod = kernel_module(
+            "_net_ _out_ void k(int *d) {"
+            " int a = d[0] + 1; int b = a * 2; int c = b - 3; d[1] = 5; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        eliminate_dead_code(fn)
+        assert count(fn, ir.BinOp) == 0
+
+
+class TestGvn:
+    def test_cse_duplicate_expressions(self):
+        mod = kernel_module(
+            "_net_ _out_ void k(int *d) {"
+            " d[1] = d[0] * 3 + 1; d[2] = d[0] * 3 + 1; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        before = count(fn, ir.BinOp)
+        global_value_numbering(fn)
+        eliminate_dead_code(fn)
+        assert count(fn, ir.BinOp) < before
+
+    def test_commutative_normalization(self):
+        mod = kernel_module(
+            "_net_ _out_ void k(int *d) { d[2] = d[0] + d[1]; d[3] = d[1] + d[0]; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        global_value_numbering(fn)
+        eliminate_dead_code(fn)
+        adds = [i for i in fn.instructions() if isinstance(i, ir.BinOp) and i.op == "add"]
+        assert len(adds) == 1
+
+    def test_map_lookups_cse(self):
+        mod = kernel_module(KVS_SRC, KVS_DEFINES)
+        fn = mod.functions["query"]
+        prep(fn)
+        fold_constants(fn)
+        simplify_cfg(fn)
+        global_value_numbering(fn)
+        eliminate_dead_code(fn)
+        # All three Idx[key] lookups collapse to one.
+        assert count(fn, ir.MapLookup) == 1
+
+    def test_loads_not_cse_across_stores(self):
+        mod = kernel_module(
+            "_net_ unsigned a[4];\n"
+            "_net_ _out_ void k(unsigned *d) {"
+            " d[0] = a[0]; a[0] = 99; d[1] = a[0]; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        global_value_numbering(fn)
+        assert count(fn, ir.LoadElem) == 2
+
+    def test_semantics_preserved(self):
+        assert_transform_preserves(
+            KVS_SRC,
+            "query",
+            lambda fn: (global_value_numbering(fn), eliminate_dead_code(fn)),
+            metas=[{"from": 0}, {"from": 2}, {"from": 1}] * 3,
+            defines=KVS_DEFINES,
+            pre=prep,
+            prepare_state=lambda s: s.maps["Idx"].insert(0, 1),
+            chunk_len=4,
+        )
+
+
+class TestSimplifyCfg:
+    def test_folds_constant_branch(self):
+        mod = kernel_module(
+            "_net_ _out_ void k(int *d) { if (1) d[0] = 1; else d[0] = 2; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        fold_constants(fn)
+        simplify_cfg(fn)
+        assert count(fn, ir.CondBr) == 0
+        assert len(fn.blocks) == 1
+
+    def test_merges_straightline_blocks(self):
+        mod = kernel_module("_net_ _out_ void k(int *d) { { { d[0] = 1; } } }")
+        fn = mod.functions["k"]
+        prep(fn)
+        simplify_cfg(fn)
+        assert len(fn.blocks) == 1
+
+    def test_semantics_preserved(self):
+        assert_transform_preserves(
+            "_net_ _out_ void k(int *d) {"
+            " if (d[0] > 0) { if (0) d[1] = 9; else d[1] = 1; }"
+            " else d[1] = 2;"
+            " if (1) d[2] = 3; }",
+            "k",
+            lambda fn: (fold_constants(fn), simplify_cfg(fn)),
+            metas=[{}] * 6,
+            pre=prep,
+        )
+
+
+class TestInline:
+    def test_call_disappears(self):
+        mod = kernel_module(
+            "int dbl(int x) { return x + x; }\n"
+            "_net_ _out_ void k(int *d) { d[0] = dbl(d[1]); }"
+        )
+        fn = mod.functions["k"]
+        inline_calls(fn)
+        assert count(fn, ir.CallFn) == 0
+
+    def test_nested_helpers(self):
+        mod = kernel_module(
+            "int a(int x) { return x + 1; }\n"
+            "int b(int x) { return a(x) * 2; }\n"
+            "_net_ _out_ void k(int *d) { d[0] = b(d[1]); }"
+        )
+        fn = mod.functions["k"]
+        inline_calls(fn)
+        assert count(fn, ir.CallFn) == 0
+
+    def test_multi_return_makes_phi(self):
+        mod = kernel_module(
+            "int pick(int x) { if (x > 0) return 1; return 2; }\n"
+            "_net_ _out_ void k(int *d) { d[0] = pick(d[1]); }"
+        )
+        fn = mod.functions["k"]
+        inline_calls(fn)
+        promote_allocas(fn)
+        assert count(fn, ir.Phi) >= 1
+
+    def test_semantics_preserved(self):
+        assert_transform_preserves(
+            "int clamp(int v) { if (v > 50) return 50; if (v < -50) return -50; return v; }\n"
+            "_net_ _out_ void k(int *d) { d[0] = clamp(d[0]) + clamp(d[1]); }",
+            "k",
+            lambda fn: (inline_calls(fn), promote_allocas(fn)),
+            metas=[{}] * 6,
+        )
+
+
+class TestSpecializeWindow:
+    def test_replaces_fields(self):
+        mod = kernel_module(
+            "struct window { unsigned len; };\n"
+            "_net_ _out_ void k(int *d) { d[0] = window.len; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        n = specialize_window(fn, {"len": 4})
+        assert n == 1
+        assert count(fn, ir.WinField) == 0
+
+    def test_builtin_fields_untouched_without_spec(self):
+        mod = kernel_module("_net_ _out_ void k(unsigned *d) { d[0] = window.seq; }")
+        fn = mod.functions["k"]
+        prep(fn)
+        specialize_window(fn, {"len": 4})
+        assert count(fn, ir.WinField) == 1
+
+
+class TestUnroll:
+    def test_constant_trip_count_unrolls(self):
+        mod = kernel_module(
+            "_net_ unsigned a[8];\n"
+            "_net_ _out_ void k(unsigned *d) {"
+            " for (unsigned i = 0; i < 8; ++i) a[i] += d[0]; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        unroll_loops(fn)
+        fold_constants(fn)
+        simplify_cfg(fn)
+        from repro.nir.cfg import natural_loops
+
+        assert not natural_loops(fn)
+        assert count(fn, ir.StoreElem) == 8
+
+    def test_zero_trip_loop_vanishes(self):
+        mod = kernel_module(
+            "_net_ _out_ void k(int *d) { for (unsigned i = 0; i < 0; ++i) d[0] = 1; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        unroll_loops(fn)
+        assert count(fn, ir.StoreParam) == 0
+
+    def test_accumulator_carried_out(self):
+        assert_transform_preserves(
+            "_net_ _out_ void k(int *d) {"
+            " int s = 0;"
+            " for (unsigned i = 0; i < 4; ++i) s += d[i];"
+            " d[0] = s; }",
+            "k",
+            unroll_loops,
+            metas=[{}] * 4,
+            pre=prep,
+        )
+
+    def test_nested_loops(self):
+        assert_transform_preserves(
+            "_net_ unsigned m[4][4];\n"
+            "_net_ _out_ void k(unsigned *d) {"
+            " for (unsigned i = 0; i < 4; ++i)"
+            "   for (unsigned j = 0; j < 4; ++j)"
+            "     m[i][j] = d[0] + i * 4 + j; }",
+            "k",
+            unroll_loops,
+            metas=[{}] * 2,
+            pre=prep,
+        )
+
+    def test_branch_in_body(self):
+        assert_transform_preserves(
+            "_net_ _out_ void k(int *d) {"
+            " for (unsigned i = 0; i < 4; ++i)"
+            "   if (d[i] > 0) d[i] = 0; else d[i] = 1; }",
+            "k",
+            unroll_loops,
+            metas=[{}] * 5,
+            pre=prep,
+        )
+
+    def test_data_dependent_bound_rejected(self):
+        mod = kernel_module(
+            "_net_ _out_ void k(unsigned *d) {"
+            " for (unsigned i = 0; i < d[0]; ++i) d[1] += 1; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        with pytest.raises(ConformanceError, match="not provably constant"):
+            unroll_loops(fn)
+
+    def test_window_len_bound_needs_specialization(self):
+        mod = kernel_module(
+            "struct window { unsigned len; };\n"
+            "_net_ _out_ void k(int *d) {"
+            " for (unsigned i = 0; i < window.len; ++i) d[i] = 0; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        with pytest.raises(ConformanceError):
+            unroll_loops(fn)
+
+    def test_specialized_window_len_unrolls(self):
+        mod = kernel_module(
+            "struct window { unsigned len; };\n"
+            "_net_ _out_ void k(int *d) {"
+            " for (unsigned i = 0; i < window.len; ++i) d[i] = 7; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        specialize_window(fn, {"len": 3})
+        fold_constants(fn)
+        unroll_loops(fn)
+        assert count(fn, ir.StoreParam) == 3
+
+    def test_trip_limit_enforced(self):
+        mod = kernel_module(
+            "_net_ unsigned t[1];\n"
+            "_net_ _out_ void k(int *d) {"
+            " for (unsigned i = 0; i < 100000; ++i) t[0] += 1; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        with pytest.raises(ConformanceError, match="unroll limit"):
+            unroll_loops(fn, max_trips=64)
+
+    def test_infinite_loop_rejected(self):
+        mod = kernel_module(
+            "_net_ unsigned t[1];\n"
+            "_net_ _out_ void k(int *d) { while (1) t[0] += 1; }"
+        )
+        fn = mod.functions["k"]
+        prep(fn)
+        with pytest.raises(ConformanceError):
+            unroll_loops(fn, max_trips=64)
+
+
+class TestPipelines:
+    def test_optimize_switch_allreduce_differential(self):
+        assert_transform_preserves(
+            ALLREDUCE_SRC,
+            "allreduce",
+            lambda fn: optimize_switch(fn, window_spec={"len": 4}),
+            metas=[
+                {"seq": s, "len": 4, "from": w, "last": 0}
+                for s in range(4)
+                for w in range(2)
+            ],
+            defines=ALLREDUCE_DEFINES,
+            prepare_state=lambda s: s.ctrl_write("nworkers", 2),
+            chunk_len=4,
+        )
+
+    def test_optimize_switch_kvs_differential(self):
+        def prepare(state):
+            state.maps["Idx"].insert(1, 0)
+            state.maps["Idx"].insert(2, 1)
+
+        assert_transform_preserves(
+            KVS_SRC,
+            "query",
+            lambda fn: optimize_switch(fn, window_spec={}),
+            metas=[{"from": f} for f in (0, 1, 2)] * 4,
+            defines=KVS_DEFINES,
+            prepare_state=prepare,
+            chunk_len=4,
+        )
+
+    def test_optimize_host_keeps_loops_dynamic(self):
+        mod = kernel_module(ALLREDUCE_SRC, ALLREDUCE_DEFINES)
+        fn = mod.functions["result"]
+        optimize_host(fn)
+        from repro.nir.cfg import natural_loops
+
+        assert natural_loops(fn)  # host code keeps its loops

@@ -1,0 +1,71 @@
+"""Multi-switch telemetry app: SPMD kernels, local state, pinned ctrl."""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps.telemetry import TelemetryCluster
+from repro.apps.workloads import zipf_keys
+
+
+@pytest.fixture()
+def telemetry():
+    return TelemetryCluster(n_senders=2, slots=64, hh_threshold=5)
+
+
+class TestTelemetry:
+    def test_all_windows_delivered(self, telemetry):
+        telemetry.send_flows(0, [1, 2, 3, 1, 1])
+        assert telemetry.total_seen() == 5
+        assert telemetry.seen[1] == 3
+
+    def test_both_switches_count_locally(self, telemetry):
+        """The location-less `counts` array exists independently on each
+        switch (paper S4.1: modifications are local). Both sit on the
+        same path here, so the local copies agree -- but they are
+        distinct register arrays on distinct devices."""
+        telemetry.send_flows(0, [7] * 4)
+        assert telemetry.switch_counts("s1")[7] == 4
+        assert telemetry.switch_counts("s2")[7] == 4
+        s1 = telemetry.cluster.switches["s1"].switch
+        s2 = telemetry.cluster.switches["s2"].switch
+        assert s1.registers.arrays is not s2.registers.arrays
+
+    def test_heavy_hitter_marking(self, telemetry):
+        telemetry.send_flows(0, [9] * 8 + [10] * 2)
+        # slot 9 crossed the threshold (5) on windows 6..8 -> marked
+        assert 9 in telemetry.heavy_hitters()
+        assert 10 not in telemetry.heavy_hitters()
+        assert telemetry.hh_hits[9] == 3  # windows with ingress count > 5
+
+    def test_detection_matches_ground_truth(self):
+        t = TelemetryCluster(n_senders=2, slots=64, hh_threshold=6)
+        keys = zipf_keys(300, 64, 1.2, seed=11)
+        half = len(keys) // 2
+        t.send_flows(0, keys[:half])
+        t.send_flows(1, keys[half:])
+        truth = {s for s, n in Counter(k & 63 for k in keys).items() if n > 6}
+        assert set(t.heavy_hitters()) == truth
+
+    def test_threshold_is_control_plane(self, telemetry):
+        telemetry.cluster.controller.ctrl_wr("hh_threshold", 1)
+        telemetry.send_flows(0, [3] * 3)
+        assert 3 in telemetry.heavy_hitters()
+
+    def test_spmd_kernel_versions_differ(self, telemetry):
+        """The location split produced different P4 for s1 and s2."""
+        src1 = telemetry.program.switch_sources["s1"]
+        src2 = telemetry.program.switch_sources["s2"]
+        assert src1 != src2
+        # only s2 reads the heavy-hitter threshold register
+        assert "reg_hh_threshold" not in src1
+        assert "reg_hh_threshold" in src2
+
+    def test_stamps_travel_with_window(self, telemetry):
+        got = []
+        telemetry.collector.on_raw_window(
+            "monitor", lambda w, h: got.append(list(w.chunks[1]))
+        )
+        telemetry.send_flows(0, [5, 5])
+        # second window: ingress count 2, egress count 2, no HH mark
+        assert got[1] == [2, 2, 0]

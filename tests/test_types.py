@@ -1,0 +1,105 @@
+"""The NCL type system."""
+
+import pytest
+
+from repro.errors import NclTypeError
+from repro.ncl import types as T
+
+
+class TestEquality:
+    def test_int_types_value_equality(self):
+        assert T.IntType(32, False) == T.U32
+        assert T.IntType(32, True) != T.U32
+        assert hash(T.IntType(64, True)) == hash(T.I64)
+
+    def test_array_equality(self):
+        assert T.ArrayType(T.I32, 8) == T.ArrayType(T.I32, 8)
+        assert T.ArrayType(T.I32, 8) != T.ArrayType(T.I32, 9)
+
+    def test_pointer_equality(self):
+        assert T.PointerType(T.U8) == T.PointerType(T.U8)
+        assert T.PointerType(T.U8) != T.PointerType(T.I8)
+
+
+class TestArrays:
+    def test_total_elements_2d(self):
+        ty = T.ArrayType(T.ArrayType(T.U8, 128), 256)
+        assert ty.total_elements == 256 * 128
+        assert ty.scalar_element == T.U8
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(NclTypeError):
+            T.ArrayType(T.I32, 0)
+
+
+class TestMapType:
+    def test_valid_map(self):
+        m = T.MapType(T.U64, T.U8, 256)
+        assert m.capacity == 256
+
+    def test_non_integer_key_rejected(self):
+        with pytest.raises(NclTypeError):
+            T.MapType(T.PointerType(T.U8), T.U8, 4)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(NclTypeError):
+            T.MapType(T.U64, T.U8, 0)
+
+
+class TestCommonType:
+    def test_wider_wins(self):
+        assert T.common_type(T.U8, T.U32) == T.U32
+        assert T.common_type(T.I64, T.I16) == T.I64
+
+    def test_promotion_to_int(self):
+        assert T.common_type(T.U8, T.I8) == T.I32
+        assert T.common_type(T.BOOL, T.BOOL) == T.I32
+
+    def test_equal_width_unsigned_wins(self):
+        assert T.common_type(T.I32, T.U32) == T.U32
+        assert T.common_type(T.U64, T.I64) == T.U64
+
+    def test_signed_i64_vs_u32(self):
+        assert T.common_type(T.I64, T.U32) == T.I64
+
+
+class TestAssignable:
+    def test_scalar_conversions_allowed(self):
+        assert T.assignable(T.U8, T.I64)
+        assert T.assignable(T.I32, T.BOOL)
+
+    def test_exact_pointer_only(self):
+        assert T.assignable(T.PointerType(T.I32), T.PointerType(T.I32))
+        assert not T.assignable(T.PointerType(T.I32), T.PointerType(T.U32))
+
+    def test_array_not_assignable(self):
+        assert not T.assignable(T.ArrayType(T.I32, 4), T.ArrayType(T.I32, 4))
+
+
+class TestSizeof:
+    @pytest.mark.parametrize(
+        "ty,size",
+        [
+            (T.U8, 1),
+            (T.I16, 2),
+            (T.U32, 4),
+            (T.I64, 8),
+            (T.BOOL, 1),
+            (T.ArrayType(T.I32, 10), 40),
+            (T.ArrayType(T.ArrayType(T.U8, 128), 4), 512),
+            (T.PointerType(T.I32), 8),
+        ],
+    )
+    def test_sizes(self, ty, size):
+        assert T.sizeof(ty) == size
+
+    def test_scalar_bits(self):
+        assert T.scalar_bits(T.U16) == 16
+        assert T.scalar_bits(T.BOOL) == 8
+        with pytest.raises(NclTypeError):
+            T.scalar_bits(T.ArrayType(T.I32, 2))
+
+    def test_builtin_name_table(self):
+        assert T.BUILTIN_TYPE_NAMES["unsigned"] == T.U32
+        assert T.BUILTIN_TYPE_NAMES["char"] == T.CHAR
+        assert T.BUILTIN_TYPE_NAMES["size_t"] == T.U64
