@@ -9,7 +9,9 @@ EXPERIMENTS.md records one captured run of every table.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import os
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
@@ -34,6 +36,44 @@ def record_once(benchmark, fn):
     recorded round keeps them visible in ``--benchmark-only`` runs.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def maybe_obs():
+    """An enabled :class:`repro.obs.Observability` when ``REPRO_TRACE``
+    is set (its value names the directory trace files are written to),
+    else ``None`` -- the disabled fast path, so benchmark numbers with
+    tracing off are the real numbers."""
+    if not os.environ.get("REPRO_TRACE"):
+        return None
+    from repro.obs import Observability
+
+    return Observability()
+
+
+def registry_snapshot(network, obs=None) -> dict:
+    """A metrics-registry snapshot of *network*, whether or not the run
+    was traced: the registry's collectors read the always-on component
+    stats, so per-layer breakdowns ride in every results JSON."""
+    if obs is not None:
+        return obs.snapshot()
+    from repro.obs import MetricsRegistry, collect_network_metrics
+
+    registry = MetricsRegistry()
+    collect_network_metrics(network, registry)
+    return registry.snapshot()
+
+
+def write_trace(obs, name: str) -> Optional[Path]:
+    """Write the run's Chrome trace-event JSON into $REPRO_TRACE."""
+    if obs is None:
+        return None
+    outdir = Path(os.environ.get("REPRO_TRACE", "."))
+    outdir.mkdir(parents=True, exist_ok=True)
+    path = outdir / f"{name}.trace.json"
+    with open(path, "w") as fp:
+        obs.tracer.write_chrome(fp)
+    print(f"[obs] wrote {path} ({len(obs.tracer.events)} events)")
+    return path
 
 
 def loc(source: str) -> int:

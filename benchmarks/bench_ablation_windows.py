@@ -11,7 +11,6 @@
    the overlay degree grows.
 """
 
-import pytest
 
 from repro.apps.allreduce import ALLREDUCE_MULTIROUND_NCL, AllReduceJob, star_and
 from repro.apps.workloads import random_arrays

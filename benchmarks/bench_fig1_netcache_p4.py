@@ -8,7 +8,6 @@ Fig 5 on the identical workload. The paper's point is that the two
 companion table quantifies the artifact sizes.
 """
 
-import pytest
 
 from repro.apps.kvs_cache import KVS_NCL
 from repro.baselines.p4_netcache import build_netcache_program, handwritten_p4_source

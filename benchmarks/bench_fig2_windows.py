@@ -7,7 +7,6 @@ geometry and reports the framing efficiency (header bytes vs payload
 bytes per window), plus codec throughput for pytest-benchmark.
 """
 
-import pytest
 
 from repro.nclc import Compiler, WindowConfig
 from repro.ncp.window import Windower

@@ -10,7 +10,6 @@ latency; plus a deployed-and-verified end-to-end check through a mapped
 
 import time
 
-import pytest
 
 from repro.andspec import PhysicalNet, map_overlay, parse_and
 from repro.nclc import Compiler, WindowConfig

@@ -14,22 +14,27 @@ and bandwidth arithmetic; the paper has no numbers of its own):
   loses to INC on latency, and the INC/ring gap widens with n.
 """
 
-import pytest
 
 from repro.apps.allreduce import AllReduceJob
 from repro.apps.workloads import random_arrays
 from repro.baselines.host_allreduce import ParameterServerAllReduce, RingAllReduce
 
-from benchmarks._util import print_table, record_once
+from benchmarks._util import (
+    maybe_obs,
+    print_table,
+    record_once,
+    registry_snapshot,
+    write_trace,
+)
 
 WINDOW = 8
 
 
-def one_round(n_workers: int, data_len: int):
+def one_round(n_workers: int, data_len: int, obs=None):
     arrays = random_arrays(n_workers, data_len, seed=n_workers)
     expected = AllReduceJob.expected(arrays)
 
-    inc = AllReduceJob(n_workers, data_len, WINDOW)
+    inc = AllReduceJob(n_workers, data_len, WINDOW, obs=obs)
     inc_res, inc_t = inc.run_round(arrays)
     assert inc_res[0] == expected
 
@@ -43,15 +48,21 @@ def one_round(n_workers: int, data_len: int):
     ring = RingAllReduce(n_workers, ring_len, WINDOW)
     ring_res, ring_t = ring.run(random_arrays(n_workers, ring_len, seed=n_workers))
 
-    return inc_t, ps_t, ring_t
+    return inc, inc_t, ps_t, ring_t
 
 
 def test_fig4_worker_scaling(benchmark):
     rows = []
+    metrics = {}
 
     def sweep():
         for n in (2, 4, 8):
-            inc_t, ps_t, ring_t = one_round(n, 512)
+            obs = maybe_obs()
+            inc, inc_t, ps_t, ring_t = one_round(n, 512, obs=obs)
+            # Per-layer breakdown into the results JSON; full packet
+            # trace to $REPRO_TRACE when tracing is on.
+            metrics[f"workers={n}"] = registry_snapshot(inc.cluster.network, obs)
+            write_trace(obs, f"fig4_allreduce_w{n}")
             rows.append(
                 [
                     n,
@@ -64,6 +75,7 @@ def test_fig4_worker_scaling(benchmark):
             )
 
     record_once(benchmark, sweep)
+    benchmark.extra_info["metrics"] = metrics
     print_table(
         "Fig 4: AllReduce completion time vs workers (512 int32)",
         ["workers", "INC us", "PS us", "ring us", "INC vs PS", "INC vs ring"],
@@ -80,7 +92,7 @@ def test_fig4_data_scaling(benchmark):
 
     def sweep():
         for data_len in (128, 512, 2048):
-            inc_t, ps_t, ring_t = one_round(4, data_len)
+            _, inc_t, ps_t, ring_t = one_round(4, data_len)
             rows.append(
                 [
                     data_len,
@@ -113,8 +125,8 @@ def test_fig4_link_bytes_accounting(benchmark):
             ps = ParameterServerAllReduce(n, data_len, WINDOW)
             ps.run(arrays)
             ps_bytes = ps.net.total_bytes_on_links()
-            ps_bottleneck = max(l.stats.bytes for l in ps.net.links)
-            inc_bottleneck = max(l.stats.bytes for l in inc.cluster.network.links)
+            ps_bottleneck = max(lk.stats.bytes for lk in ps.net.links)
+            inc_bottleneck = max(lk.stats.bytes for lk in inc.cluster.network.links)
             rows.append(
                 [n, inc_bytes, ps_bytes, inc_bottleneck, ps_bottleneck]
             )
@@ -142,4 +154,7 @@ def test_fig4_single_round_latency(benchmark):
         return results
 
     results = benchmark(run)
+    # The timing loop above runs untraced (disabled fast path); the
+    # registry snapshot is collected post-hoc from the component stats.
+    benchmark.extra_info["metrics"] = registry_snapshot(job.cluster.network)
     assert results[0] == AllReduceJob.expected(arrays)

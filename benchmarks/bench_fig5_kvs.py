@@ -11,7 +11,6 @@ cached and uncached systems. Expected shape:
   helps -- the crossover the paper's motivation relies on.
 """
 
-import pytest
 
 from repro.apps.kvs_cache import KvsCluster
 from repro.apps.workloads import zipf_keys

@@ -7,9 +7,8 @@ code expansion (NCL source -> generated P4), and the backend's
 accept/reject behaviour across chip profiles.
 """
 
-import pytest
 
-from repro.apps.allreduce import ALLREDUCE_MULTIROUND_NCL, ALLREDUCE_NCL, star_and
+from repro.apps.allreduce import ALLREDUCE_NCL, star_and
 from repro.apps.kvs_cache import KVS_NCL, kvs_and
 from repro.errors import BackendRejection, ConformanceError
 from repro.nclc import Compiler, WindowConfig

@@ -12,7 +12,6 @@ Also counts the networking *constructs* (parser states, tables, actions,
 metadata fields) the NCL programmer never sees.
 """
 
-import pytest
 
 from repro.apps.allreduce import ALLREDUCE_NCL, star_and
 from repro.apps.kvs_cache import KVS_NCL, kvs_and

@@ -27,7 +27,7 @@ def main() -> None:
     cluster.send_stream(stream)
 
     total, dups = cluster.switch_counters()
-    links = {frozenset((l.a.name, l.b.name)): l for l in cluster.cluster.network.links}
+    links = {frozenset((lk.a.name, lk.b.name)): lk for lk in cluster.cluster.network.links}
     upstream = links[frozenset(("sender", "s1"))].stats
     downstream = links[frozenset(("s1", "sink"))].stats
 

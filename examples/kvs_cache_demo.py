@@ -55,7 +55,7 @@ def main() -> None:
 
     saved = 1 - kvs.server_ops / base.server_ops
     print(f"\nserver load removed by the cache: {saved:.1%}")
-    print(f"hot-key latency improvement     : "
+    print("hot-key latency improvement     : "
           f"{base.mean_latency() / hit_lat:.1f}x")
 
 

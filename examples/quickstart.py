@@ -16,7 +16,6 @@ Run:  python examples/quickstart.py
 """
 
 from repro import compile_ncl
-from repro.nclc import WindowConfig
 from repro.runtime import Cluster
 
 NCL_SOURCE = r"""

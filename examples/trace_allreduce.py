@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Trace one in-network AllReduce window end-to-end.
+
+This is the observability layer's worked example (docs/OBSERVABILITY.md):
+run the Fig 4 AllReduce with an :class:`repro.obs.Observability` attached
+and follow a single window hop by hop --
+
+    host w0 opens and flushes the window       (track ``host w0``)
+    the frame serializes onto the uplink       (track ``link w0<->s1``)
+    the switch parses it, runs the kernel's
+    actions, and emits a verdict               (track ``switch s1``)
+    the broadcast result is delivered back     (tracks ``host w*``)
+
+-- then print the per-layer metrics breakdown and write a Chrome
+trace-event file you can open in chrome://tracing or
+https://ui.perfetto.dev.
+
+Run:  python examples/trace_allreduce.py
+"""
+
+from repro.apps.allreduce import AllReduceJob
+from repro.obs import Observability
+
+N_WORKERS = 2
+DATA_LEN = 8
+WINDOW_LEN = 4
+
+
+def main() -> None:
+    obs = Observability()
+    job = AllReduceJob(N_WORKERS, DATA_LEN, WINDOW_LEN, obs=obs)
+    arrays = [[w + 1] * DATA_LEN for w in range(N_WORKERS)]
+    results, elapsed = job.run_round(arrays)
+    assert results[0] == AllReduceJob.expected(arrays)
+    print(f"AllReduce of {DATA_LEN} ints across {N_WORKERS} workers "
+          f"finished in {elapsed * 1e6:.1f} simulated us\n")
+
+    # -- 1. the packet path, as a human-readable timeline ------------------
+    print("== trace timeline (first window: seq=0) ==")
+    seq0 = [e for e in obs.tracer.events if e.args.get("seq") == 0]
+    for event in sorted(seq0, key=lambda e: e.ts):
+        dur = f" +{event.dur * 1e6:.2f}us" if event.dur is not None else ""
+        print(f"  {event.ts * 1e6:8.2f}us{dur:>10}  "
+              f"{event.track:<18} {event.name}")
+
+    # -- 2. the per-layer metrics breakdown --------------------------------
+    snap = obs.snapshot()
+    print("\n== metrics (selected) ==")
+    for name in ("link.bytes", "link.drops", "ncp.windows",
+                 "switch.packets", "switch.action_runs"):
+        for series in snap[name]["series"]:
+            labels = ",".join(f"{k}={v}" for k, v in series["labels"].items())
+            print(f"  {name}{{{labels}}} = {series['value']}")
+    phv = snap["switch.phv_fields"]["series"][0]["value"]
+    print(f"  switch.phv_fields{{switch=s1}} p50={phv['p50']} "
+          f"max={phv['max']} (live PHV fields per packet)")
+
+    # -- 3. the whole run, for a trace viewer ------------------------------
+    out = "allreduce.trace.json"
+    with open(out, "w") as fp:
+        obs.tracer.write_chrome(fp)
+    print(f"\nwrote {out} ({len(obs.tracer.events)} events) -- open it in "
+          "chrome://tracing or https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

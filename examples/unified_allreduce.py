@@ -69,7 +69,6 @@ def main() -> None:
 
     # One compile per rank: MY_RANK is a per-worker #define, the way a
     # launcher would bake ranks into each host binary.
-    clusters = None
     programs = []
     for rank in range(n_workers):
         programs.append(

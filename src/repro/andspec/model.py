@@ -20,7 +20,7 @@ Node ids are assigned in declaration order and are the values the
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.errors import AndError
 
@@ -134,7 +134,7 @@ class AndSpec:
         labels = list(self.nodes)
         if len(labels) <= 1:
             return True
-        adjacency: Dict[str, List[str]] = {l: [] for l in labels}
+        adjacency: Dict[str, List[str]] = {label: [] for label in labels}
         for a, b in self.edges:
             adjacency[a].append(b)
             adjacency[b].append(a)

@@ -16,7 +16,7 @@ Two kernel variants ship:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import RuntimeApiError
 from repro.nclc import Compiler, WindowConfig
@@ -97,6 +97,7 @@ class AllReduceJob:
         bandwidth: float = 10e9,
         latency: float = 1e-6,
         loss: float = 0.0,
+        obs=None,
     ):
         if data_len % window_len != 0:
             raise RuntimeApiError("data_len must be a multiple of window_len")
@@ -113,7 +114,7 @@ class AllReduceJob:
             defines={"DATA_LEN": data_len, "WIN_LEN": window_len},
         )
         self.cluster = Cluster.from_program(
-            self.program, bandwidth=bandwidth, latency=latency, loss=loss
+            self.program, bandwidth=bandwidth, latency=latency, loss=loss, obs=obs
         )
         self.cluster.controller.ctrl_wr("nworkers", n_workers)
 

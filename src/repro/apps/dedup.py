@@ -14,12 +14,10 @@ the filter to the stream.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.ncp.window import Window
 from repro.nclc import Compiler, WindowConfig
 from repro.runtime import Cluster
-from repro.runtime.host_rt import NclHost
 
 DEDUP_NCL = r"""
 // In-network duplicate suppression with a Bloom filter.

@@ -22,7 +22,7 @@ Pipeline: senders -> s1 (ingress) -> s2 (egress) -> collector.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.nclc import Compiler, WindowConfig
 from repro.runtime import Cluster

@@ -20,7 +20,7 @@ executes nothing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.ncp.wire import (
@@ -122,7 +122,7 @@ class ParameterServerAllReduce:
         self.net = Network()
         self.workers = [self.net.add_host(f"w{i}") for i in range(n_workers)]
         self.ps = self.net.add_host("ps")
-        switch = self.net.add_python_switch("tor", l3_forwarding_program)
+        self.net.add_python_switch("tor", l3_forwarding_program)
         for host in self.workers + [self.ps]:
             self.net.add_link(host.name, "tor", latency=latency, bandwidth=bandwidth)
         self.net.compute_routes()
@@ -202,7 +202,7 @@ class RingAllReduce:
         self.window_len = window_len
         self.net = Network()
         self.workers = [self.net.add_host(f"w{i}") for i in range(n_workers)]
-        switch = self.net.add_python_switch("tor", l3_forwarding_program)
+        self.net.add_python_switch("tor", l3_forwarding_program)
         for host in self.workers:
             self.net.add_link(host.name, "tor", latency=latency, bandwidth=bandwidth)
         self.net.compute_routes()

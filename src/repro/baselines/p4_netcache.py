@@ -17,7 +17,6 @@ the minimum PUT-invalidate/update machinery needed to run a workload).
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.ncp.wire import (
     ETH_FIELDS,

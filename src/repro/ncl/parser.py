@@ -199,7 +199,7 @@ class Parser:
 
     def _parse_initializer(self) -> InitTree:
         if self._peek().is_punct("{"):
-            loc = self._next().loc
+            self._next()
             items: List[InitTree] = []
             if not self._peek().is_punct("}"):
                 items.append(self._parse_initializer())

@@ -32,7 +32,6 @@ from repro.ncl.types import (
     ArrayType,
     BloomFilterType,
     BOOL,
-    BoolType,
     I32,
     I64,
     IntType,

@@ -9,7 +9,6 @@ The NCL standard library adds switch-side container types -- ``Map`` and
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 from repro.errors import NclTypeError
 

@@ -78,6 +78,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the optimized switch IR instead of writing artifacts",
     )
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="print per-stage and per-pass wall time with IR-size deltas",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the compile timeline as Chrome trace-event JSON "
+        "(open in chrome://tracing or Perfetto)",
+    )
     return parser
 
 
@@ -98,6 +109,11 @@ def main(argv=None) -> int:
         profile=args.profile,
         split_arrays=False if args.no_split else "auto",
     )
+    trace = None
+    if args.timing or args.trace_out:
+        from repro.obs import CompileTrace
+
+        trace = CompileTrace()
     try:
         program = compiler.compile(
             source,
@@ -105,11 +121,16 @@ def main(argv=None) -> int:
             windows=windows or None,
             defines=defines or None,
             filename=args.source,
+            trace=trace,
         )
     except BackendRejection as exc:
         print("backend REJECTED the program:", file=sys.stderr)
         for reason in exc.reasons:
             print(f"  - {reason}", file=sys.stderr)
+        # The timing collected up to the rejection is exactly what you
+        # want when a build blows the chip budget -- still report it.
+        if trace is not None and args.timing:
+            print(trace.format_table())
         return 2
     except (ConformanceError, NclError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -117,6 +138,15 @@ def main(argv=None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+    if trace is not None:
+        if args.timing:
+            print(trace.format_table())
+        if args.trace_out:
+            out = Path(args.trace_out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            with open(out, "w") as fp:
+                trace.write_chrome(fp)
 
     if args.dump_ir:
         for label, p4 in program.switch_programs.items():
@@ -136,6 +166,14 @@ def main(argv=None) -> int:
             {"array": s.name, "stride": s.stride, "parts": s.part_names}
             for s in program.split_info.get(label, [])
         ]
+        # Per-stage compile times always ride along; the per-pass detail
+        # joins when the build ran with --timing/--trace-out.
+        payload["timing"] = {"stages": program.stage_times}
+        if trace is not None:
+            payload["timing"]["passes"] = [
+                p for p in trace.as_dict()["passes"]
+                if p["stage"] in (label, "host")
+            ]
         report_path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"{label}: ACCEPTED on {report.profile} "
               f"({report.stages} stages, {report.phv_bits} PHV bits) "

@@ -21,10 +21,10 @@ of each outgoing kernel and produces one :class:`P4Program` per switch:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ConformanceError
-from repro.ncl.types import BOOL, PointerType, Type, is_signed, scalar_bits, sizeof
+from repro.ncl.types import PointerType, Type, is_signed, scalar_bits, sizeof
 from repro.ncp.wire import (
     ETH_FIELDS,
     ETHERTYPE_IPV4,

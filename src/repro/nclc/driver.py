@@ -22,10 +22,11 @@ time -- the paper's prototype scope ("windows that fit a packet", S6).
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.andspec.model import AndSpec, parse_and
-from repro.errors import BackendRejection, RuntimeApiError
+from repro.errors import RuntimeApiError
 from repro.ncl import frontend
 from repro.ncl.sema import TranslationUnit
 from repro.ncp.wire import KernelLayout, layout_for_kernel
@@ -38,7 +39,7 @@ from repro.p4.printer import print_program
 from repro.pisa.arch import ArchProfile, profile_by_name
 from repro.nclc.codegen import build_switch_program
 from repro.nclc.conformance import check_module
-from repro.nclc.versioning import LocationModule, version_module
+from repro.nclc.versioning import version_module
 
 
 class WindowConfig:
@@ -74,6 +75,7 @@ class CompiledProgram:
         profile: ArchProfile,
         source: str,
         split_info: Optional[Dict[str, list]] = None,
+        compile_trace=None,
     ):
         self.unit = unit
         self.ref_module = ref_module
@@ -87,11 +89,14 @@ class CompiledProgram:
         self.stage_times = stage_times
         self.profile = profile
         self.source = source
+        #: the per-pass timing/IR-size trace, when the caller compiled
+        #: with one (see repro.obs.CompileTrace / ``nclc --timing``)
+        self.compile_trace = compile_trace
         #: per-location register splits performed by the arch-specific
         #: transformation (label -> [SplitInfo])
         self.split_info = dict(split_info or {})
-        self.kernel_ids = {name: l.kernel_id for name, l in layouts.items()}
-        self.kernel_by_id = {l.kernel_id: name for name, l in layouts.items()}
+        self.kernel_ids = {name: lo.kernel_id for name, lo in layouts.items()}
+        self.kernel_by_id = {lo.kernel_id: name for name, lo in layouts.items()}
 
     @property
     def label_ids(self) -> Dict[str, int]:
@@ -141,18 +146,27 @@ class Compiler:
         windows: Optional[Mapping[str, WindowConfig]] = None,
         defines: Optional[Mapping[str, int]] = None,
         filename: str = "<ncl>",
+        trace=None,
     ) -> CompiledProgram:
+        """Compile *source*. Pass a :class:`repro.obs.CompileTrace` as
+        ``trace`` to additionally record per-pass wall time and IR-size
+        deltas (the coarse per-stage times are always collected)."""
         stage_times: Dict[str, float] = {}
         stats: Dict[str, PassStats] = {}
 
+        def tstage(name):
+            return trace.stage(name) if trace is not None else nullcontext()
+
         # -- frontend -------------------------------------------------------
         t0 = time.perf_counter()
-        unit = frontend(source, filename, defines)
+        with tstage("frontend"):
+            unit = frontend(source, filename, defines)
         stage_times["frontend"] = time.perf_counter() - t0
 
         # -- IR generation -----------------------------------------------------
         t0 = time.perf_counter()
-        module = lower_unit(unit)
+        with tstage("irgen"):
+            module = lower_unit(unit)
         stage_times["irgen"] = time.perf_counter() - t0
 
         # -- AND ---------------------------------------------------------------
@@ -165,7 +179,8 @@ class Compiler:
 
         # -- stage 1: conformance ------------------------------------------------
         t0 = time.perf_counter()
-        check_module(module, and_spec)
+        with tstage("conformance"):
+            check_module(module, and_spec)
         stage_times["conformance"] = time.perf_counter() - t0
 
         # -- window configuration ----------------------------------------------
@@ -174,15 +189,17 @@ class Compiler:
 
         # -- host pipeline (reference module) --------------------------------
         t0 = time.perf_counter()
-        host_stats = PassStats()
-        for fn in module.kernels():
-            optimize_host(fn, host_stats)
+        with tstage("host-opt"):
+            host_stats = PassStats()
+            for fn in module.kernels():
+                optimize_host(fn, host_stats, trace=trace, stage="host")
         stats["host"] = host_stats
         stage_times["host-opt"] = time.perf_counter() - t0
 
         # -- stage 2: versioning --------------------------------------------------
         t0 = time.perf_counter()
-        versions = version_module(module, and_spec)
+        with tstage("versioning"):
+            versions = version_module(module, and_spec)
         stage_times["versioning"] = time.perf_counter() - t0
 
         # -- stage 3+4 per location -----------------------------------------------
@@ -197,15 +214,18 @@ class Compiler:
             loc_stats = PassStats()
             t0 = time.perf_counter()
             compiled_kernels: List[Tuple[ir.Function, KernelLayout]] = []
-            for fn in version.module.kernels(ir.FunctionKind.OUT_KERNEL):
-                config = window_configs[fn.name]
-                optimize_switch(
-                    fn,
-                    window_spec=config.ext,
-                    stats=loc_stats,
-                    max_trips=self.max_unroll,
-                )
-                compiled_kernels.append((fn, layouts[fn.name]))
+            with tstage("switch-opt"):
+                for fn in version.module.kernels(ir.FunctionKind.OUT_KERNEL):
+                    config = window_configs[fn.name]
+                    optimize_switch(
+                        fn,
+                        window_spec=config.ext,
+                        stats=loc_stats,
+                        max_trips=self.max_unroll,
+                        trace=trace,
+                        stage=version.label,
+                    )
+                    compiled_kernels.append((fn, layouts[fn.name]))
             # Arch-specific transformation: split register arrays when the
             # chip allows fewer accesses per array than the kernels make.
             want_split = self.split_arrays is True or (
@@ -224,15 +244,16 @@ class Compiler:
             stats[version.label] = loc_stats
 
             t0 = time.perf_counter()
-            program = build_switch_program(
-                version.module,
-                compiled_kernels,
-                label_ids,
-                name=f"{module.name}_{version.label}",
-            )
-            switch_programs[version.label] = program
-            switch_sources[version.label] = print_program(program)
-            reports[version.label] = check_program(program, self.profile)
+            with tstage("codegen+backend"):
+                program = build_switch_program(
+                    version.module,
+                    compiled_kernels,
+                    label_ids,
+                    name=f"{module.name}_{version.label}",
+                )
+                switch_programs[version.label] = program
+                switch_sources[version.label] = print_program(program)
+                reports[version.label] = check_program(program, self.profile)
             t_gen += time.perf_counter() - t0
         stage_times["switch-opt"] = t_opt
         stage_times["codegen+backend"] = t_gen
@@ -251,6 +272,7 @@ class Compiler:
             profile=self.profile,
             source=source,
             split_info=split_info,
+            compile_trace=trace,
         )
 
     # -- helpers ---------------------------------------------------------------

@@ -16,7 +16,7 @@ simplification then *are* the location-split: branches on
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.andspec.model import AndSpec
 from repro.nir import ir

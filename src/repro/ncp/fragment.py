@@ -28,13 +28,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import NcpError
-from repro.ncp.wire import (
-    ETH_FIELDS,
-    IPV4_FIELDS,
-    NCP_FIELDS,
-    UDP_FIELDS,
-    FLAG_LAST,
-)
+from repro.ncp.wire import ETH_FIELDS, IPV4_FIELDS, NCP_FIELDS, UDP_FIELDS
 from repro.util.bits import pack_fields, unpack_fields
 
 #: set on the wire kernel_id of every fragment; outside the id range the

@@ -14,7 +14,6 @@ bench exercises both window/packet ratios the codec supports.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import NcpError

@@ -197,7 +197,6 @@ def encode_frame(
         raise NcpError(
             f"expected {len(layout.chunks)} chunks, got {len(chunks)}"
         )
-    writer = BitWriter()
     ext_values = dict(ext_values or {})
 
     payload = BitWriter()
@@ -303,6 +302,34 @@ def is_ncp_frame(data: bytes) -> bool:
         return ncp["magic"] == NCP_MAGIC
     except Exception:
         return False
+
+
+def peek_frame(data: bytes) -> Optional[Dict[str, int]]:
+    """Header-only decode (no layout needed) for tracing: which window
+    is this frame carrying? Returns None for non-NCP frames."""
+    try:
+        eth, rest = unpack_fields(ETH_FIELDS, data)
+        if eth["ethertype"] != ETHERTYPE_IPV4:
+            return None
+        ip, rest = unpack_fields(IPV4_FIELDS, rest)
+        if ip["proto"] != IP_PROTO_UDP:
+            return None
+        udp, rest = unpack_fields(UDP_FIELDS, rest)
+        if udp["dport"] != NCP_PORT:
+            return None
+        ncp, _ = unpack_fields(NCP_FIELDS, rest)
+        if ncp["magic"] != NCP_MAGIC:
+            return None
+        return {
+            "kernel": ncp["kernel_id"],
+            "seq": ncp["seq"],
+            "from": ncp["from_node"],
+            "last": int(bool(ncp["flags"] & FLAG_LAST)),
+            "src": ip["src"] & 0xFFFF,
+            "dst": ip["dst"] & 0xFFFF,
+        }
+    except Exception:
+        return None
 
 
 def decode_frame(

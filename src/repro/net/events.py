@@ -7,6 +7,7 @@ import itertools
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.context import NULL_OBS
 
 
 class Simulator:
@@ -15,6 +16,11 @@ class Simulator:
     Events are (time, tiebreak-seq, callback) triples on a heap; the
     tiebreak keeps simultaneous events in schedule order, which makes
     runs fully deterministic.
+
+    The simulator also carries the run's observability context
+    (:attr:`obs`, default :data:`~repro.obs.context.NULL_OBS`): every
+    component that can reach the simulator reaches tracing and metrics
+    the same way, and the virtual clock is the one clock traces use.
     """
 
     def __init__(self) -> None:
@@ -22,6 +28,7 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0.0
         self.events_processed = 0
+        self.obs = NULL_OBS
 
     def now(self) -> float:
         return self._now

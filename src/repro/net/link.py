@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
+from repro.ncp.wire import peek_frame
 
 if TYPE_CHECKING:
     from repro.net.node import Node
@@ -13,13 +14,22 @@ if TYPE_CHECKING:
 
 
 class LinkStats:
-    __slots__ = ("frames", "bytes", "drops", "busy_time")
+    """Per-link accounting; drops are split by cause so a lossy run and
+    a congested run are distinguishable in a registry snapshot."""
+
+    __slots__ = ("frames", "bytes", "drops_loss", "drops_overflow", "busy_time")
 
     def __init__(self) -> None:
         self.frames = 0
         self.bytes = 0
-        self.drops = 0
+        self.drops_loss = 0
+        self.drops_overflow = 0
         self.busy_time = 0.0
+
+    @property
+    def drops(self) -> int:
+        """Total drops, all causes (backward-compatible view)."""
+        return self.drops_loss + self.drops_overflow
 
 
 class Link:
@@ -28,7 +38,10 @@ class Link:
     Serialization delay is ``size / bandwidth`` and each direction has an
     independent transmit queue (``free_at``): frames queue behind one
     another, which is what creates incast congestion at a ToR in the
-    AllReduce benchmarks.
+    AllReduce benchmarks. ``queue_limit_bytes`` optionally bounds that
+    per-direction backlog: a frame that would push the queued bytes past
+    the limit is dropped (cause ``overflow``), modelling a finite egress
+    buffer.
     """
 
     def __init__(
@@ -39,6 +52,7 @@ class Link:
         bandwidth: float = 10e9,  # bits/s
         loss: float = 0.0,
         seed: int = 0,
+        queue_limit_bytes: Optional[int] = None,
     ):
         if bandwidth <= 0:
             raise SimulationError("bandwidth must be positive")
@@ -47,6 +61,7 @@ class Link:
         self.latency = latency
         self.bandwidth = bandwidth
         self.loss = loss
+        self.queue_limit_bytes = queue_limit_bytes
         self._rng = random.Random(seed)
         self._free_at = {a: 0.0, b: 0.0}
         self.stats = LinkStats()
@@ -62,21 +77,65 @@ class Link:
             return self.a
         raise SimulationError(f"{node} is not attached to this link")
 
+    @property
+    def track(self) -> str:
+        return f"link {self.a.name}<->{self.b.name}"
+
+    def _trace_args(self, sender: "Node", receiver: "Node", data: bytes) -> dict:
+        args = {"dir": f"{sender.name}->{receiver.name}", "bytes": len(data)}
+        meta = peek_frame(data)
+        if meta is not None:
+            args["kernel"] = meta["kernel"]
+            args["seq"] = meta["seq"]
+            args["from"] = meta["from"]
+        return args
+
     def transmit(self, sim: "Simulator", sender: "Node", data: bytes) -> None:
         """Send a frame from *sender* to the other end."""
         receiver = self.other(sender)
+        obs = sim.obs
         if self.loss > 0 and self._rng.random() < self.loss:
-            self.stats.drops += 1
+            self.stats.drops_loss += 1
+            if obs.enabled:
+                args = self._trace_args(sender, receiver, data)
+                args["cause"] = "loss"
+                obs.tracer.instant(
+                    "drop", sim.now(), track=self.track, cat="link", args=args
+                )
             return
         size_bits = len(data) * 8
         serialization = size_bits / self.bandwidth
-        start = max(sim.now(), self._free_at[sender])
+        now = sim.now()
+        start = max(now, self._free_at[sender])
+        if self.queue_limit_bytes is not None:
+            backlog_bytes = (start - now) * self.bandwidth / 8
+            if backlog_bytes + len(data) > self.queue_limit_bytes:
+                self.stats.drops_overflow += 1
+                if obs.enabled:
+                    args = self._trace_args(sender, receiver, data)
+                    args["cause"] = "overflow"
+                    args["backlog_bytes"] = int(backlog_bytes)
+                    obs.tracer.instant(
+                        "drop", now, track=self.track, cat="link", args=args
+                    )
+                return
         done = start + serialization
         self._free_at[sender] = done
         self.stats.frames += 1
         self.stats.bytes += len(data)
         self.stats.busy_time += serialization
         arrival = done + self.latency
+        if obs.enabled:
+            args = self._trace_args(sender, receiver, data)
+            if start > now:
+                obs.tracer.span(
+                    "queue", now, start - now, track=self.track, cat="link",
+                    args=dict(args),
+                )
+            obs.tracer.span(
+                "serialize", start, serialization, track=self.track, cat="link",
+                args=args,
+            )
         in_port = self.port_at[receiver]
         sim.schedule_at(arrival, lambda: receiver.handle_frame(data, in_port))
 

@@ -12,6 +12,8 @@ from repro.net.events import Simulator
 from repro.net.link import Link
 from repro.net.node import HostNode, Node, PythonSwitchNode
 from repro.net.pisanode import PisaSwitchNode
+from repro.obs.context import Observability
+from repro.obs.netmetrics import collect_network_metrics
 from repro.pisa.switch_dev import PisaSwitch
 
 #: default link parameters (10 GbE, 1 us propagation)
@@ -20,12 +22,28 @@ DEFAULT_LATENCY = 1e-6
 
 
 class Network:
-    """A concrete simulated network of hosts and switches."""
+    """A concrete simulated network of hosts and switches.
 
-    def __init__(self, sim: Optional[Simulator] = None):
+    Pass an :class:`~repro.obs.Observability` to trace the run and have
+    the network register itself as a metrics collector; without one the
+    simulation runs on the no-op fast path.
+    """
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        obs: Optional[Observability] = None,
+    ):
         self.sim = sim or Simulator()
+        if obs is not None:
+            self.sim.obs = obs
+            if obs.enabled:
+                obs.registry.register_collector(
+                    lambda reg: collect_network_metrics(self, reg)
+                )
         self.nodes: Dict[str, Node] = {}
         self.links: List[Link] = []
+        self._by_id: Dict[int, Node] = {}
         self._next_id = 0
 
     # -- construction -----------------------------------------------------------
@@ -39,9 +57,10 @@ class Network:
     def _register(self, node: Node) -> Node:
         if node.name in self.nodes:
             raise SimulationError(f"duplicate node name {node.name!r}")
-        if any(n.node_id == node.node_id for n in self.nodes.values()):
+        if node.node_id in self._by_id:
             raise SimulationError(f"duplicate node id {node.node_id}")
         self.nodes[node.name] = node
+        self._by_id[node.node_id] = node
         return node
 
     def add_host(self, name: str, node_id: Optional[int] = None) -> HostNode:
@@ -71,10 +90,14 @@ class Network:
         bandwidth: float = DEFAULT_BANDWIDTH,
         loss: float = 0.0,
         seed: int = 0,
+        queue_limit_bytes: Optional[int] = None,
     ) -> Link:
         if a not in self.nodes or b not in self.nodes:
             raise SimulationError(f"link endpoints must exist: {a!r}, {b!r}")
-        link = Link(self.nodes[a], self.nodes[b], latency, bandwidth, loss, seed)
+        link = Link(
+            self.nodes[a], self.nodes[b], latency, bandwidth, loss, seed,
+            queue_limit_bytes=queue_limit_bytes,
+        )
         self.links.append(link)
         return link
 
@@ -120,10 +143,10 @@ class Network:
         return node
 
     def node_by_id(self, node_id: int) -> Node:
-        for node in self.nodes.values():
-            if node.node_id == node_id:
-                return node
-        raise SimulationError(f"no node with id {node_id}")
+        node = self._by_id.get(node_id)
+        if node is None:
+            raise SimulationError(f"no node with id {node_id}")
+        return node
 
     def to_physical(self) -> PhysicalNet:
         """Expose the topology to the AND mapper."""

@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
-from repro.ncp.wire import is_ncp_frame
 
 if TYPE_CHECKING:
     from repro.net.events import Simulator
@@ -80,9 +79,26 @@ class HostNode(Node):
     def handle_frame(self, data: bytes, in_port: int) -> None:
         self.stats.rx_frames += 1
         self.stats.rx_bytes += len(data)
+        obs = self.sim.obs
         if self.receiver is None:
             self.stats.drops += 1
+            if obs.enabled:
+                obs.tracer.instant(
+                    "drop", self.sim.now(), track=f"host {self.name}", cat="host",
+                    args={"cause": "no-receiver", "bytes": len(data)},
+                )
             return
+        if obs.enabled:
+            from repro.ncp.wire import peek_frame
+
+            args = {"bytes": len(data)}
+            meta = peek_frame(data)
+            if meta is not None:
+                args.update(kernel=meta["kernel"], seq=meta["seq"], **{"from": meta["from"]})
+            obs.tracer.span(
+                "deliver", self.sim.now(), self.PROCESS_DELAY,
+                track=f"host {self.name}", cat="host", args=args,
+            )
         receiver = self.receiver
         self.sim.schedule(self.PROCESS_DELAY, lambda: receiver(data))
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.net.node import Node
@@ -46,7 +46,38 @@ class PisaSwitchNode(Node):
 
         def run() -> None:
             self.stats.processed += 1
-            result = self.switch.process(data, in_port)
+            obs = self.sim.obs
+            if obs.enabled:
+                from repro.ncp.wire import peek_frame
+                from repro.obs.netmetrics import SwitchPacketTrace
+
+                observer = SwitchPacketTrace()
+                result = self.switch.process(data, in_port, observer=observer)
+                meta = peek_frame(data)
+                frame_args = {"in_port": in_port}
+                if meta is not None:
+                    frame_args.update(
+                        kernel=meta["kernel"], seq=meta["seq"],
+                        **{"from": meta["from"]},
+                    )
+                # run() fires PIPELINE_DELAY after the frame arrived; the
+                # per-stage spans tile that processing window.
+                observer.emit(
+                    obs.tracer,
+                    track=f"switch {self.name}",
+                    start=self.sim.now() - self.PIPELINE_DELAY,
+                    delay=self.PIPELINE_DELAY,
+                    verdict=result.verdict,
+                    frame_args=frame_args,
+                )
+                obs.registry.histogram(
+                    "switch.phv_fields",
+                    "PHV occupancy (live field count) per packet",
+                    ("switch",),
+                    buckets=(8, 16, 32, 64, 128, 256),
+                ).labels(switch=self.name).observe(len(result.phv.fields))
+            else:
+                result = self.switch.process(data, in_port)
             verdict = result.verdict
             if verdict == "drop":
                 self.stats.drops += 1

@@ -430,7 +430,6 @@ class _FrameInterp:
         if instr.kind == "bool":
             return int(a != 0)
         src_bits = scalar_bits(src_ty) if src_ty.is_scalar else 64
-        dst_bits = scalar_bits(instr.ty)
         if instr.kind == "zext":
             raw = intops.to_unsigned(a, src_bits)
         elif instr.kind == "sext":

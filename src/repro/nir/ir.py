@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import itertools
 from enum import Enum, auto
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import IrError
 from repro.ncl.types import (
@@ -46,7 +46,6 @@ from repro.ncl.types import (
     PointerType,
     Type,
     U16,
-    scalar_bits,
 )
 
 

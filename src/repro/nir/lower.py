@@ -22,22 +22,19 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.errors import NclTypeError
 from repro.ncl import ast
 from repro.ncl.sema import TranslationUnit
-from repro.ncl.symbols import Symbol, SymbolKind
+from repro.ncl.symbols import Symbol
 from repro.ncl.types import (
     ArrayType,
     BloomFilterType,
     BOOL,
     I32,
-    IntType,
     MapType,
     PointerType,
     Type,
     U32,
-    VOID,
     common_type,
     is_signed,
     scalar_bits,
-    sizeof,
 )
 from repro.nir import ir
 

@@ -11,7 +11,7 @@ every alloca is promotable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.nir import ir
 from repro.nir.cfg import DominatorTree

@@ -59,26 +59,42 @@ class PassStats:
         return f"PassStats({inner})"
 
 
-def _cleanup(fn: ir.Function, stats: PassStats, verify: bool) -> None:
-    stats.add("constfold", fold_constants(fn))
-    stats.add("simplifycfg", simplify_cfg(fn))
-    stats.add("gvn", global_value_numbering(fn))
-    stats.add("dce", eliminate_dead_code(fn))
-    stats.add("simplifycfg", simplify_cfg(fn))
+def _run_pass(trace, stage, name, pass_fn, fn, *args, **kwargs):
+    """Run one pass, optionally under a CompileTrace (duck-typed: any
+    object with ``measure(stage, pass, fn)`` recording wall time and
+    IR-size deltas)."""
+    if trace is None:
+        return pass_fn(fn, *args, **kwargs)
+    with trace.measure(stage, name, fn):
+        return pass_fn(fn, *args, **kwargs)
+
+
+def _cleanup(
+    fn: ir.Function, stats: PassStats, verify: bool, trace=None, stage: str = ""
+) -> None:
+    stats.add("constfold", _run_pass(trace, stage, "constfold", fold_constants, fn))
+    stats.add("simplifycfg", _run_pass(trace, stage, "simplifycfg", simplify_cfg, fn))
+    stats.add("gvn", _run_pass(trace, stage, "gvn", global_value_numbering, fn))
+    stats.add("dce", _run_pass(trace, stage, "dce", eliminate_dead_code, fn))
+    stats.add("simplifycfg", _run_pass(trace, stage, "simplifycfg", simplify_cfg, fn))
     if verify:
         verify_function(fn)
 
 
 def optimize_host(
-    fn: ir.Function, stats: Optional[PassStats] = None, verify: bool = True
+    fn: ir.Function,
+    stats: Optional[PassStats] = None,
+    verify: bool = True,
+    trace=None,
+    stage: str = "host",
 ) -> PassStats:
     """The host pipeline: SSA + early optimizations, loops kept."""
     stats = stats or PassStats()
-    stats.add("inline", inline_calls(fn))
-    stats.add("mem2reg", promote_allocas(fn))
+    stats.add("inline", _run_pass(trace, stage, "inline", inline_calls, fn))
+    stats.add("mem2reg", _run_pass(trace, stage, "mem2reg", promote_allocas, fn))
     if verify:
         verify_function(fn)
-    _cleanup(fn, stats, verify)
+    _cleanup(fn, stats, verify, trace, stage)
     return stats
 
 
@@ -88,29 +104,40 @@ def optimize_switch(
     stats: Optional[PassStats] = None,
     verify: bool = True,
     max_trips: int = 4096,
+    trace=None,
+    stage: str = "switch",
 ) -> PassStats:
     """The device pipeline front half: SSA, specialization, full unroll,
     then the scalar optimizations. After this the CFG is acyclic and
     ready for PISA lowering."""
     stats = stats or PassStats()
-    stats.add("inline", inline_calls(fn))
-    stats.add("mem2reg", promote_allocas(fn))
+    stats.add("inline", _run_pass(trace, stage, "inline", inline_calls, fn))
+    stats.add("mem2reg", _run_pass(trace, stage, "mem2reg", promote_allocas, fn))
     if verify:
         verify_function(fn)
     if window_spec:
-        stats.add("specialize-window", specialize_window(fn, window_spec))
-    _cleanup(fn, stats, verify)
-    stats.add("unroll", unroll_loops(fn, max_trips=max_trips))
+        stats.add(
+            "specialize-window",
+            _run_pass(trace, stage, "specialize-window", specialize_window, fn, window_spec),
+        )
+    _cleanup(fn, stats, verify, trace, stage)
+    stats.add(
+        "unroll",
+        _run_pass(trace, stage, "unroll", unroll_loops, fn, max_trips=max_trips),
+    )
     if verify:
         verify_function(fn)
-    _cleanup(fn, stats, verify)
+    _cleanup(fn, stats, verify, trace, stage)
     # Post-unroll memory optimizations: expose memcpy element accesses,
     # forward stored values into re-reads (cuts register accesses), clean.
-    stats.add("memexpand", expand_memcpy(fn))
-    stats.add("storefwd", forward_stores(fn))
-    stats.add("storemerge", merge_conditional_stores(fn))
-    stats.add("storefwd", forward_stores(fn))
+    stats.add("memexpand", _run_pass(trace, stage, "memexpand", expand_memcpy, fn))
+    stats.add("storefwd", _run_pass(trace, stage, "storefwd", forward_stores, fn))
+    stats.add(
+        "storemerge",
+        _run_pass(trace, stage, "storemerge", merge_conditional_stores, fn),
+    )
+    stats.add("storefwd", _run_pass(trace, stage, "storefwd", forward_stores, fn))
     if verify:
         verify_function(fn)
-    _cleanup(fn, stats, verify)
+    _cleanup(fn, stats, verify, trace, stage)
     return stats

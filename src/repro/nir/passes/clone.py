@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-import copy
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional
 
 from repro.nir import ir
 

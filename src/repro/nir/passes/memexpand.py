@@ -11,7 +11,7 @@ them directly, and dynamic lengths are fine there).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.errors import ConformanceError
 from repro.ncl.types import U32, sizeof

@@ -27,7 +27,7 @@ array (:meth:`repro.runtime.controller.Controller.register_dump`).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.ncl.types import ArrayType, U32
 from repro.nir import ir

@@ -13,7 +13,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 from repro.errors import ConformanceError
 from repro.ncl.types import is_signed, scalar_bits

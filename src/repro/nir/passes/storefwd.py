@@ -107,7 +107,7 @@ def forward_stores(fn: ir.Function) -> int:
         if not stores or not loads:
             continue
         store_keys = [_index_key(s.index) for s in stores]
-        load_keys = [_index_key(l.index) for l in loads]
+        load_keys = [_index_key(ld.index) for ld in loads]
         if any(k is None for k in store_keys + load_keys):
             continue
         # Full pairwise disambiguation: store/store and store/load.

@@ -28,7 +28,7 @@ Conditions (conservative):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.nir import ir
 from repro.nir.cfg import DominatorTree, natural_loops

@@ -16,7 +16,7 @@ and constant folding + CFG simplification clean up afterwards.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.errors import ConformanceError
 from repro.nir import ir
@@ -53,14 +53,14 @@ def unroll_loops(fn: ir.Function, max_trips: int = DEFAULT_MAX_TRIPS) -> int:
 
 def _innermost(loops: List[Dict]) -> Dict:
     """Pick a loop whose body contains no other loop's header."""
-    headers = {id(l["header"]) for l in loops}
-    for loop in sorted(loops, key=lambda l: len(l["body"])):
+    headers = {id(lp["header"]) for lp in loops}
+    for loop in sorted(loops, key=lambda lp: len(lp["body"])):
         inner_headers = sum(
             1 for b in loop["body"] if id(b) in headers and b is not loop["header"]
         )
         if inner_headers == 0:
             return loop
-    return min(loops, key=lambda l: len(l["body"]))
+    return min(loops, key=lambda lp: len(lp["body"]))
 
 
 def _unroll_one(fn: ir.Function, loop: Dict, max_trips: int) -> None:
@@ -121,7 +121,7 @@ def _unroll_one(fn: ir.Function, loop: Dict, max_trips: int) -> None:
         vmap = ValueMap()
         for phi, value in phi_values.items():
             vmap.values[phi] = value
-        clones = clone_region(fn, region, vmap, suffix=f"it{k}")
+        clone_region(fn, region, vmap, suffix=f"it{k}")
         header_clone = vmap.block(header)
         latch_clone = vmap.block(latch)
         # The header clone's exit test is known-true for this iteration.
@@ -147,10 +147,7 @@ def _unroll_one(fn: ir.Function, loop: Dict, max_trips: int) -> None:
         final_phi_values = next_values
 
     # -- stitch entry and exit ---------------------------------------------
-    if trips == 0:
-        final_target = exit_block
-    else:
-        final_target = exit_block
+    if trips > 0:
         assert prev_tail is not None
         _redirect(prev_tail, None, exit_block)
 
@@ -240,7 +237,6 @@ def _compute_trip_count(
         for phi in phis:
             if values[phi] is not None:
                 env[phi.id] = values[phi]  # type: ignore[assignment]
-        cond = None
         for instr in order:
             result = _abstract_eval(instr, env)
             if result is not None:
@@ -296,7 +292,7 @@ def _control_slice(
         if instr.block not in (header, latch):
             raise ConformanceError(
                 f"{fn.name}: loop condition depends on %{instr.id} computed "
-                f"under control flow inside the loop body"
+                "under control flow inside the loop body"
             )
     return slice_set
 

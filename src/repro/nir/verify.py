@@ -7,11 +7,11 @@ and phi inconsistencies early, the way ``opt -verify`` does for LLVM.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict
 
 from repro.errors import IrError
 from repro.nir import ir
-from repro.nir.cfg import DominatorTree, reverse_postorder
+from repro.nir.cfg import DominatorTree
 
 
 def verify_function(fn: ir.Function) -> None:
@@ -48,7 +48,7 @@ def _verify_terminators(fn: ir.Function) -> None:
             if instr.block is not block:
                 raise IrError(
                     f"{fn.name}/{block.label}: instruction {instr.render()} has "
-                    f"stale block pointer"
+                    "stale block pointer"
                 )
 
 

@@ -1,0 +1,49 @@
+"""repro.obs -- the cross-layer observability subsystem.
+
+Three pillars (see ``docs/OBSERVABILITY.md``):
+
+* a **metrics registry** (:class:`MetricsRegistry`) every layer
+  publishes into -- counters/gauges/histograms with labels;
+* **structured tracing** (:class:`Tracer`) with spans and packet-scoped
+  events against the simulator's virtual clock, exportable as JSON
+  lines, a human-readable timeline, or Chrome trace-event JSON;
+* **compiler instrumentation** (:class:`CompileTrace`) -- per-pass wall
+  time and IR-size deltas inside ``nclc``.
+
+The :class:`Observability` context bundles the first two and rides on
+the simulator (``sim.obs``); the default is the no-op :data:`NULL_OBS`,
+whose cost at every instrumentation site is one attribute load and a
+branch.
+"""
+
+from repro.obs.compiler import CompileTrace, ir_size
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.netmetrics import SwitchPacketTrace, collect_network_metrics
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    ObservabilityError,
+)
+from repro.obs.trace import TraceEvent, Tracer
+
+__all__ = [
+    "CompileTrace",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "Observability",
+    "ObservabilityError",
+    "SwitchPacketTrace",
+    "TraceEvent",
+    "Tracer",
+    "collect_network_metrics",
+    "ir_size",
+]

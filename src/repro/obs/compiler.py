@@ -1,0 +1,165 @@
+"""Compiler instrumentation: per-stage and per-pass wall time plus
+IR-size deltas.
+
+The nclc driver already aggregates coarse stage times; a
+:class:`CompileTrace` adds the layer below -- every individual pass
+invocation with its wall time and the function's instruction count
+before/after -- which is what you need to see *which* pass ate the
+compile time or exploded the IR after a full unroll.
+
+The clock is caller-supplied (defaults to ``time.perf_counter``): tests
+inject a fake monotonic counter so trace output is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, IO, List, Optional
+
+from repro.nir import ir
+
+
+def ir_size(fn: "ir.Function") -> int:
+    """Instruction count -- the IR-size measure passes are judged by."""
+    return sum(1 for _ in fn.instructions())
+
+
+class CompileTrace:
+    """Per-pass and per-stage accounting for one ``Compiler.compile``."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.clock = clock or time.perf_counter
+        self._t0 = self.clock()
+        #: [{stage, wall_s, start_s}]
+        self.stages: List[Dict[str, object]] = []
+        #: [{stage, pass, fn, wall_s, ir_before, ir_after, start_s}]
+        self.passes: List[Dict[str, object]] = []
+
+    # -- recording -------------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str):
+        start = self.clock()
+        try:
+            yield
+        finally:
+            end = self.clock()
+            self.stages.append(
+                {
+                    "stage": name,
+                    "start_s": start - self._t0,
+                    "wall_s": end - start,
+                }
+            )
+
+    @contextmanager
+    def measure(self, stage: str, pass_name: str, fn: "ir.Function"):
+        before = ir_size(fn)
+        start = self.clock()
+        try:
+            yield
+        finally:
+            end = self.clock()
+            self.passes.append(
+                {
+                    "stage": stage,
+                    "pass": pass_name,
+                    "fn": fn.name,
+                    "start_s": start - self._t0,
+                    "wall_s": end - start,
+                    "ir_before": before,
+                    "ir_after": ir_size(fn),
+                }
+            )
+
+    # -- reporting -------------------------------------------------------------
+
+    def stage_times(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for rec in self.stages:
+            out[rec["stage"]] = out.get(rec["stage"], 0.0) + rec["wall_s"]
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "stages": [
+                {"stage": r["stage"], "wall_s": r["wall_s"]} for r in self.stages
+            ],
+            "passes": [
+                {
+                    "stage": r["stage"],
+                    "pass": r["pass"],
+                    "fn": r["fn"],
+                    "wall_s": r["wall_s"],
+                    "ir_before": r["ir_before"],
+                    "ir_after": r["ir_after"],
+                }
+                for r in self.passes
+            ],
+        }
+
+    def format_table(self) -> str:
+        """The ``nclc --timing`` report."""
+        lines = ["== compile stages =="]
+        for rec in self.stages:
+            lines.append(f"  {rec['stage']:<20} {rec['wall_s'] * 1e3:8.3f} ms")
+        lines.append("== passes (wall ms, IR instrs before -> after) ==")
+        for rec in self.passes:
+            delta = rec["ir_after"] - rec["ir_before"]
+            sign = f"{delta:+d}" if delta else "="
+            lines.append(
+                f"  {rec['stage']:<14} {rec['pass']:<18} {rec['fn']:<16} "
+                f"{rec['wall_s'] * 1e3:8.3f}  {rec['ir_before']:>5} -> "
+                f"{rec['ir_after']:<5} ({sign})"
+            )
+        return "\n".join(lines)
+
+    def write_chrome(self, fp: IO[str]) -> None:
+        """Compile timeline in trace-event format (stages as one track,
+        passes as another), viewable next to a simulation trace."""
+        events: List[Dict[str, object]] = [
+            {
+                "ph": "M",
+                "pid": 2,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "nclc"},
+            },
+            {"ph": "M", "pid": 2, "tid": 1, "name": "thread_name",
+             "args": {"name": "stages"}},
+            {"ph": "M", "pid": 2, "tid": 2, "name": "thread_name",
+             "args": {"name": "passes"}},
+        ]
+        for rec in self.stages:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 2,
+                    "tid": 1,
+                    "name": rec["stage"],
+                    "cat": "compile",
+                    "ts": round(rec["start_s"] * 1e6, 3),
+                    "dur": round(rec["wall_s"] * 1e6, 3),
+                }
+            )
+        for rec in self.passes:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 2,
+                    "tid": 2,
+                    "name": f"{rec['pass']}:{rec['fn']}",
+                    "cat": "compile",
+                    "ts": round(rec["start_s"] * 1e6, 3),
+                    "dur": round(rec["wall_s"] * 1e6, 3),
+                    "args": {
+                        "stage": rec["stage"],
+                        "ir_before": rec["ir_before"],
+                        "ir_after": rec["ir_after"],
+                    },
+                }
+            )
+        json.dump({"traceEvents": events, "displayTimeUnit": "ns"}, fp, sort_keys=True)
+        fp.write("\n")

@@ -1,0 +1,301 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+Every layer of the stack publishes into one :class:`MetricsRegistry` --
+the net simulator, links, the PISA pipeline, the NCP windower and the
+host runtime -- so a benchmark can snapshot a single object and get the
+whole per-layer breakdown (bytes on the wire vs. bytes aggregated
+in-switch, per-stage occupancy, drop causes) instead of scraping each
+module's private stats.
+
+Model
+-----
+A *family* is declared once per registry (``registry.counter("link.bytes",
+labels=("link",))``) and fans out into one *series* per distinct label
+assignment (``family.labels(link="h0<->s1").inc(n)``). Label names are
+fixed at declaration; every ``labels()`` call must bind exactly that set.
+A family declared with no labels is used directly (``family.inc()``).
+
+Snapshots are pure data (nested dicts, deterministically ordered) so
+they serialize to JSON byte-identically across identical runs.
+
+*Collectors* bridge the always-on ad-hoc stats the simulator keeps
+(``Link.stats``, ``Pipeline.stats`` ...) into the registry: a collector
+is a callback run at snapshot time that sets gauges from those structs.
+This keeps the packet hot path free of registry lookups while still
+surfacing everything through one schema.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the metrics/trace API (wrong labels, kind clash ...)."""
+
+
+#: default histogram bucket upper bounds (seconds-ish scale; callers
+#: pass their own for byte- or count-valued histograms)
+DEFAULT_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4, 1e-3, 1e-2, 1e-1, 1.0,
+)
+
+
+class Counter:
+    """A monotonically increasing series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time series (set/add freely)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def add(self, amount) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A distribution series.
+
+    Keeps exact observations (simulation scale makes that affordable)
+    so percentiles are computed by linear interpolation over the sorted
+    sample, plus cumulative bucket counts for the snapshot.
+    """
+
+    __slots__ = ("values", "total", "buckets")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.values: List[float] = []
+        self.total = 0.0
+        self.buckets = tuple(buckets)
+
+    def observe(self, value) -> None:
+        self.values.append(value)
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile (0 <= p <= 100) with linear interpolation."""
+        if not 0 <= p <= 100:
+            raise ObservabilityError(f"percentile {p} outside [0, 100]")
+        if not self.values:
+            raise ObservabilityError("percentile of an empty histogram")
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return float(ordered[lo])
+        frac = rank - lo
+        return float(ordered[lo] * (1 - frac) + ordered[hi] * frac)
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Cumulative counts per upper bound, Prometheus-style, with a
+        trailing ``+Inf`` bucket."""
+        ordered = sorted(self.values)
+        out: Dict[str, int] = {}
+        i = 0
+        for bound in self.buckets:
+            while i < len(ordered) and ordered[i] <= bound:
+                i += 1
+            out[repr(bound)] = i
+        out["+Inf"] = len(ordered)
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        if not self.values:
+            return {"count": 0, "sum": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": float(min(self.values)),
+            "max": float(max(self.values)),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "buckets": self.bucket_counts(),
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric and all its labelled series."""
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        description: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        self.kind = kind
+        self.name = name
+        self.description = description
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._series: Dict[Tuple, object] = {}
+
+    def labels(self, **label_values):
+        """The series for one label assignment (created on first use)."""
+        if set(label_values) != set(self.label_names):
+            raise ObservabilityError(
+                f"metric {self.name!r} takes labels {list(self.label_names)}, "
+                f"got {sorted(label_values)}"
+            )
+        key = tuple(str(label_values[n]) for n in self.label_names)
+        series = self._series.get(key)
+        if series is None:
+            series = self._make_series()
+            self._series[key] = series
+        return series
+
+    def _make_series(self):
+        if self.kind == "histogram":
+            return Histogram(self.buckets or DEFAULT_BUCKETS)
+        return _KINDS[self.kind]()
+
+    # -- label-free convenience ------------------------------------------------
+
+    def _sole(self):
+        if self.label_names:
+            raise ObservabilityError(
+                f"metric {self.name!r} has labels {list(self.label_names)}; "
+                "use .labels(...)"
+            )
+        return self.labels()
+
+    def inc(self, amount: int = 1) -> None:
+        self._sole().inc(amount)
+
+    def set(self, value) -> None:
+        self._sole().set(value)
+
+    def add(self, amount) -> None:
+        self._sole().add(amount)
+
+    def observe(self, value) -> None:
+        self._sole().observe(value)
+
+    # -- snapshot -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        series = []
+        for key in sorted(self._series):
+            metric = self._series[key]
+            value = (
+                metric.summary()
+                if isinstance(metric, Histogram)
+                else metric.value
+            )
+            series.append(
+                {"labels": dict(zip(self.label_names, key)), "value": value}
+            )
+        return {
+            "kind": self.kind,
+            "description": self.description,
+            "label_names": list(self.label_names),
+            "series": series,
+        }
+
+
+class MetricsRegistry:
+    """All metric families of one run, plus snapshot-time collectors."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # -- declaration -----------------------------------------------------------
+
+    def _family(
+        self,
+        kind: str,
+        name: str,
+        description: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.label_names != tuple(labels):
+                raise ObservabilityError(
+                    f"metric {name!r} already declared as {existing.kind} with "
+                    f"labels {list(existing.label_names)}"
+                )
+            return existing
+        family = MetricFamily(kind, name, description, labels, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, description: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family("counter", name, description, labels)
+
+    def gauge(
+        self, name: str, description: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family("gauge", name, description, labels)
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        return self._family("histogram", name, description, labels, buckets)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def families(self) -> Iterable[MetricFamily]:
+        return self._families.values()
+
+    # -- collectors ------------------------------------------------------------
+
+    def register_collector(self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        """Register a callback run at every :meth:`snapshot` to fold a
+        component's ad-hoc stats into registry series."""
+        self._collectors.append(fn)
+
+    # -- snapshot -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Run collectors, then return all families as pure data,
+        deterministically ordered (byte-identical JSON across identical
+        runs)."""
+        for collector in self._collectors:
+            collector(self)
+        return {
+            name: self._families[name].snapshot()
+            for name in sorted(self._families)
+        }

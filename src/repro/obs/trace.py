@@ -1,0 +1,192 @@
+"""Structured tracing: spans and packet-scoped events.
+
+The tracer records what happened to every frame as it crosses the stack
+-- host emit, link queue/serialize, switch parser, each pipeline stage's
+matched table and action, delivery -- against the **simulator's virtual
+clock**, so two identical runs produce byte-identical traces. Wall-clock
+time never enters a simulation trace; the compiler's
+:class:`~repro.obs.compiler.CompileTrace` takes a caller-supplied clock
+for the same determinism on the build side.
+
+Events live on *tracks* (one per host, link direction, or switch) and
+carry free-form ``args``; NCP-decodable frames are annotated with
+``kernel``/``seq``/``from`` so one window can be followed hop-by-hop
+with a text grep or in a trace viewer.
+
+Three exporters:
+
+* :meth:`Tracer.write_jsonl` -- one JSON object per line, grep-friendly;
+* :meth:`Tracer.timeline` -- a human-readable time-ordered listing;
+* :meth:`Tracer.write_chrome` -- Chrome trace-event format (the
+  ``chrome://tracing`` / Perfetto JSON schema): complete events (``X``)
+  for spans, instant events (``i``) for points, with thread-name
+  metadata so tracks show up labelled.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Optional
+
+#: simulated seconds -> trace microseconds (the chrome schema's unit)
+_US = 1e6
+
+
+class TraceEvent:
+    __slots__ = ("ts", "dur", "name", "cat", "track", "args")
+
+    def __init__(
+        self,
+        ts: float,
+        dur: Optional[float],
+        name: str,
+        cat: str,
+        track: str,
+        args: Optional[Dict] = None,
+    ):
+        self.ts = ts
+        self.dur = dur  # None -> instant event
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.args = args or {}
+
+    def as_dict(self) -> Dict[str, object]:
+        d: Dict[str, object] = {
+            "ts": self.ts,
+            "name": self.name,
+            "cat": self.cat,
+            "track": self.track,
+        }
+        if self.dur is not None:
+            d["dur"] = self.dur
+        if self.args:
+            d["args"] = self.args
+        return d
+
+
+class Tracer:
+    """An append-only event log (cheap enough to keep per-run)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- recording -------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        track: str,
+        cat: str = "sim",
+        args: Optional[Dict] = None,
+    ) -> None:
+        """A duration event: [ts, ts+dur) in simulated seconds."""
+        self.events.append(TraceEvent(ts, dur, name, cat, track, args))
+
+    def instant(
+        self,
+        name: str,
+        ts: float,
+        track: str,
+        cat: str = "sim",
+        args: Optional[Dict] = None,
+    ) -> None:
+        self.events.append(TraceEvent(ts, None, name, cat, track, args))
+
+    # -- queries (mostly for tests and the timeline) ---------------------------
+
+    def on_track(self, track: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.track == track]
+
+    def named(self, name: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def tracks(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.track, None)
+        return list(seen)
+
+    # -- exporters -------------------------------------------------------------
+
+    def write_jsonl(self, fp: IO[str]) -> None:
+        """One event per line, in recording order."""
+        for event in self.events:
+            fp.write(json.dumps(event.as_dict(), sort_keys=True))
+            fp.write("\n")
+
+    def timeline(self, limit: Optional[int] = None) -> str:
+        """Human-readable, time-ordered; stable sort keeps simultaneous
+        events in recording order."""
+        ordered = sorted(self.events, key=lambda e: e.ts)
+        if limit is not None:
+            ordered = ordered[:limit]
+        lines = []
+        for event in ordered:
+            dur = f" +{event.dur * _US:.3f}us" if event.dur is not None else ""
+            args = ""
+            if event.args:
+                inner = " ".join(
+                    f"{k}={event.args[k]}" for k in sorted(event.args)
+                )
+                args = f"  [{inner}]"
+            lines.append(
+                f"{event.ts * _US:12.3f}us{dur:>12}  {event.track:<24} "
+                f"{event.name}{args}"
+            )
+        return "\n".join(lines)
+
+    def chrome_dict(self, process_name: str = "repro-sim") -> Dict[str, object]:
+        """The trace as a chrome://tracing / Perfetto JSON object."""
+        tids: Dict[str, int] = {}
+        trace_events: List[Dict[str, object]] = []
+        # Deterministic tids: tracks numbered in first-appearance order.
+        for event in self.events:
+            if event.track not in tids:
+                tids[event.track] = len(tids) + 1
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": process_name},
+            }
+        )
+        for track, tid in tids.items():
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        for event in self.events:
+            entry: Dict[str, object] = {
+                "name": event.name,
+                "cat": event.cat,
+                "pid": 1,
+                "tid": tids[event.track],
+                "ts": round(event.ts * _US, 6),
+            }
+            if event.dur is None:
+                entry["ph"] = "i"
+                entry["s"] = "t"
+            else:
+                entry["ph"] = "X"
+                entry["dur"] = round(event.dur * _US, 6)
+            if event.args:
+                entry["args"] = event.args
+            trace_events.append(entry)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
+
+    def write_chrome(self, fp: IO[str], process_name: str = "repro-sim") -> None:
+        json.dump(self.chrome_dict(process_name), fp, sort_keys=True)
+        fp.write("\n")

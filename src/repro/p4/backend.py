@@ -22,7 +22,7 @@ Resource model
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.errors import BackendRejection
 from repro.p4.model import (

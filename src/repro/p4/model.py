@@ -16,7 +16,6 @@ Field references are dotted strings: ``"eth.dst"``, ``"ncp.seq"``,
 
 from __future__ import annotations
 
-from enum import Enum, auto
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import PisaError

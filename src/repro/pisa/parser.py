@@ -8,7 +8,7 @@ payload bytes.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.errors import PisaError
 from repro.p4.model import P4Program, ParseState

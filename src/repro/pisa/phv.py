@@ -9,7 +9,7 @@ validity bit, and bytes beyond the parsed headers ride along untouched
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.errors import PisaError
 from repro.p4.model import P4Program

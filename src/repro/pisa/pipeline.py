@@ -9,11 +9,10 @@ statistics for the benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import PisaError
 from repro.p4.model import (
-    Action,
     Apply,
     ControlNode,
     Do,
@@ -95,6 +94,9 @@ class Pipeline:
         self.program = program
         self.registers = registers or RegisterState(program)
         self.stats = PipelineStats()
+        #: per-packet trace observer (e.g. repro.obs.SwitchPacketTrace),
+        #: set around one run() by the switch device; None -> no tracing
+        self.observer = None
 
     # -- expression evaluation ------------------------------------------------
 
@@ -209,9 +211,13 @@ class Pipeline:
         entry = self._match(table, key)
         if entry is not None:
             self.stats.table_hits[name] = self.stats.table_hits.get(name, 0) + 1
+            if self.observer is not None:
+                self.observer.table(name, True, entry.action)
             self.run_action(entry.action, phv, entry.args)
             return True
         self.stats.table_misses[name] = self.stats.table_misses.get(name, 0) + 1
+        if self.observer is not None:
+            self.observer.table(name, False, table.default_action)
         self.run_action(table.default_action, phv, table.default_args)
         return False
 
@@ -248,6 +254,8 @@ class Pipeline:
             if isinstance(node, Apply):
                 self.apply_table(node.table, phv)
             elif isinstance(node, Do):
+                if self.observer is not None:
+                    self.observer.action(node.action)
                 self.run_action(node.action, phv)
             elif isinstance(node, IfNode):
                 if self.eval_expr(node.cond, phv, {}):

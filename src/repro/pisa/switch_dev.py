@@ -10,14 +10,11 @@ routing entries.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.errors import PisaError
 from repro.p4.model import (
-    FWD_BCAST,
-    FWD_DROP,
     FWD_PASS,
-    FWD_REFLECT,
     META_FWD,
     META_FWD_LABEL,
     NO_LABEL,
@@ -60,12 +57,20 @@ class PisaSwitch:
 
     # -- data plane -----------------------------------------------------------
 
-    def process(self, data: bytes, ingress_port: int = 0) -> SwitchResult:
+    def process(
+        self, data: bytes, ingress_port: int = 0, observer=None
+    ) -> SwitchResult:
+        if observer is not None:
+            observer.parse(len(data))
         phv = self.parser.parse(data)
         phv.ingress_port = ingress_port
         phv.write(META_FWD, FWD_PASS)
         phv.write(META_FWD_LABEL, NO_LABEL)
-        self.pipeline.run(phv)
+        self.pipeline.observer = observer
+        try:
+            self.pipeline.run(phv)
+        finally:
+            self.pipeline.observer = None
         verdict_code = phv.read(META_FWD)
         if verdict_code >= len(FWD_NAMES):
             raise PisaError(f"corrupt forwarding decision {verdict_code}")

@@ -55,9 +55,14 @@ class Cluster:
         latency: float = DEFAULT_LATENCY,
         loss: float = 0.0,
         ctrl_delay: float = 0.0,
+        obs=None,
     ) -> "Cluster":
-        """1:1 deployment: every AND node becomes a simulated device."""
-        net = Network()
+        """1:1 deployment: every AND node becomes a simulated device.
+
+        ``obs`` (an :class:`repro.obs.Observability`) enables tracing
+        and metrics collection for the whole deployment.
+        """
+        net = Network(obs=obs)
         spec = program.and_spec
         switches: Dict[str, PisaSwitchNode] = {}
         hosts: Dict[str, NclHost] = {}

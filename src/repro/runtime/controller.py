@@ -11,7 +11,7 @@ simulated control-channel delay.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import RuntimeApiError
 from repro.nclc.driver import CompiledProgram

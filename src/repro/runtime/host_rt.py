@@ -25,7 +25,7 @@ from repro.errors import RuntimeApiError
 from repro.ncl.types import PointerType
 from repro.nclc.driver import CompiledProgram
 from repro.ncp.window import Window, Windower
-from repro.ncp.wire import DecodedFrame, decode_frame, encode_frame
+from repro.ncp.wire import decode_frame, encode_frame
 from repro.net.node import HostNode
 from repro.nir import ir
 from repro.nir.interp import DeviceState, Interpreter, WindowContext
@@ -82,6 +82,26 @@ class NclHost:
         self.windows_received = 0
         node.receiver = self._on_frame
 
+    # -- observability ----------------------------------------------------------
+
+    @property
+    def _obs(self):
+        return self.node.sim.obs
+
+    @property
+    def _track(self) -> str:
+        return f"host {self.node.name}"
+
+    def _window_count(self, obs, event: str, kernel: str) -> None:
+        """Window lifecycle counter: open (cut from an array by the
+        windower), flush (framed and put on the wire), recv (decoded at
+        a host), retransmit (reserved for a reliable transport)."""
+        obs.registry.counter(
+            "ncp.windows",
+            "window lifecycle events, by kernel",
+            ("host", "kernel", "event"),
+        ).labels(host=self.node.name, kernel=kernel, event=event).inc()
+
     # -- address helpers --------------------------------------------------------
 
     def _node_id_of(self, dst: Union[str, int]) -> int:
@@ -116,7 +136,10 @@ class NclHost:
         ext_values = self._ext_values(kernel, ext)
         windower = Windower(config.mask)
         count = 0
+        obs = self._obs
         for window in windower.split(arrays, ext=ext_values, from_node=self.node_id):
+            if obs.enabled:
+                self._window_count(obs, "open", kernel)
             self._send_window(kernel, window, dst)
             count += 1
         self.windows_sent += count
@@ -196,10 +219,32 @@ class NclHost:
             last=window.last,
             from_node=window.from_node,
         )
+        obs = self._obs
+        if obs.enabled:
+            self._window_count(obs, "flush", kernel)
+            obs.tracer.instant(
+                "window:send",
+                self.node.sim.now(),
+                track=self._track,
+                cat="ncp",
+                args={
+                    "kernel": kernel,
+                    "seq": window.seq,
+                    "dst": str(dst),
+                    "bytes": len(frame),
+                    "last": int(window.last),
+                },
+            )
         if self.mtu is not None and len(frame) > self.mtu:
             from repro.ncp.fragment import fragment_frame
 
-            for piece in fragment_frame(frame, self.mtu):
+            pieces = fragment_frame(frame, self.mtu)
+            if obs.enabled:
+                obs.registry.counter(
+                    "ncp.fragments", "NCP fragments, by direction",
+                    ("host", "event"),
+                ).labels(host=self.node.name, event="sent").inc(len(pieces))
+            for piece in pieces:
                 self.node.transmit(piece, self._node_id_of(dst))
             return
         self.node.transmit(frame, self._node_id_of(dst))
@@ -239,22 +284,44 @@ class NclHost:
     def _on_frame(self, data: bytes) -> None:
         from repro.ncp.fragment import is_fragment
 
+        obs = self._obs
         if is_fragment(data):
             try:
                 complete = self._reassembler.feed(data)
             except Exception:
                 self.node.stats.drops += 1
+                self._trace_decode_drop(obs, "reassembly", len(data))
                 return
             if complete is None:
                 return
+            if obs.enabled:
+                obs.registry.counter(
+                    "ncp.fragments", "NCP fragments, by direction",
+                    ("host", "event"),
+                ).labels(host=self.node.name, event="reassembled").inc()
             data = complete
         try:
             frame = decode_frame(data, self.layout_by_id)
         except Exception:
             self.node.stats.drops += 1
+            self._trace_decode_drop(obs, "decode", len(data))
             return
         self.windows_received += 1
         kernel_name = self.program.kernel_by_id[frame.kernel_id]
+        if obs.enabled:
+            self._window_count(obs, "recv", kernel_name)
+            obs.tracer.instant(
+                "window:recv",
+                self.node.sim.now(),
+                track=self._track,
+                cat="ncp",
+                args={
+                    "kernel": kernel_name,
+                    "seq": frame.seq,
+                    "from": frame.from_node,
+                    "last": int(frame.last),
+                },
+            )
         window = Window(
             frame.seq,
             frame.chunks,
@@ -282,10 +349,29 @@ class NclHost:
                 args.append(chunk[0])
         args.extend(reg.ext_args)
         ctx = WindowContext(window.meta(), args, location_id=self.node_id)
+        obs = self._obs
+        if obs.enabled:
+            obs.tracer.instant(
+                "kernel:run",
+                self.node.sim.now(),
+                track=self._track,
+                cat="ncp",
+                args={"kernel": reg.kernel.name, "seq": window.seq},
+            )
         self._interp.run(reg.kernel, ctx)
         reg.windows_received += 1
         if reg.on_window is not None:
             reg.on_window(window, self)
+
+    def _trace_decode_drop(self, obs, cause: str, nbytes: int) -> None:
+        if obs.enabled:
+            obs.tracer.instant(
+                "drop",
+                self.node.sim.now(),
+                track=self._track,
+                cat="ncp",
+                args={"cause": cause, "bytes": nbytes},
+            )
 
     def received_count(self, in_kernel: str) -> int:
         paired = self.program.unit.paired_out_kernel(in_kernel)

@@ -22,21 +22,13 @@ Host code runs under C semantics (fixed-width wrapping, short-circuit
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional
 
 from repro.errors import RuntimeApiError
 from repro.ncl import ast
 from repro.ncl.sema import TranslationUnit
 from repro.ncl.symbols import Symbol, SymbolKind
-from repro.ncl.types import (
-    ArrayType,
-    BoolType,
-    IntType,
-    PointerType,
-    Type,
-    is_signed,
-    scalar_bits,
-)
+from repro.ncl.types import ArrayType, IntType, Type, is_signed, scalar_bits
 from repro.runtime.host_rt import NclHost
 from repro.util import intops
 

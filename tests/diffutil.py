@@ -13,7 +13,6 @@ from repro.nir import ir
 from repro.nir.interp import DeviceState, Interpreter, WindowContext
 from repro.nir.lower import lower_unit
 from repro.nir.passes.clone import clone_function
-from repro.util import intops
 
 
 def kernel_module(source: str, defines=None) -> ir.Module:

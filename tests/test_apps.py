@@ -184,12 +184,12 @@ class TestDedup:
         d = DedupCluster(filter_bits=4096, payload_words=2)
         d.send_stream([5] * 50)
         downstream = next(
-            l for l in d.cluster.network.links
-            if {l.a.name, l.b.name} == {"s1", "sink"}
+            lk for lk in d.cluster.network.links
+            if {lk.a.name, lk.b.name} == {"s1", "sink"}
         )
         upstream = next(
-            l for l in d.cluster.network.links
-            if {l.a.name, l.b.name} == {"sender", "s1"}
+            lk for lk in d.cluster.network.links
+            if {lk.a.name, lk.b.name} == {"sender", "s1"}
         )
         assert upstream.stats.frames == 50
         assert downstream.stats.frames == 1

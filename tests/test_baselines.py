@@ -27,7 +27,7 @@ class TestParameterServer:
         ps = ParameterServerAllReduce(n, length, w)
         ps.run(random_arrays(n, length, seed=2))
         link_bytes = {
-            frozenset((l.a.name, l.b.name)): l.stats.bytes for l in ps.net.links
+            frozenset((lk.a.name, lk.b.name)): lk.stats.bytes for lk in ps.net.links
         }
         ps_bytes = link_bytes[frozenset(("ps", "tor"))]
         worker_bytes = link_bytes[frozenset(("w0", "tor"))]
@@ -89,7 +89,6 @@ class TestHostKvs:
 
 class TestHandwrittenNetcache:
     def make(self, cache_size=8, val_words=4):
-        from repro.baselines.host_allreduce import transfer_layout
 
         program = build_netcache_program(cache_size, val_words, server_id=1)
         sw = PisaSwitch(program)
@@ -144,6 +143,9 @@ class TestHandwrittenNetcache:
     def test_source_is_much_longer_than_ncl(self):
         from repro.apps.kvs_cache import KVS_NCL
 
-        hand_loc = len([l for l in handwritten_p4_source(256, 8).splitlines() if l.strip()])
-        ncl_loc = len([l for l in KVS_NCL.splitlines() if l.strip() and not l.strip().startswith("//")])
+        hand_loc = len([ln for ln in handwritten_p4_source(256, 8).splitlines() if ln.strip()])
+        ncl_loc = len(
+            [ln for ln in KVS_NCL.splitlines()
+             if ln.strip() and not ln.strip().startswith("//")]
+        )
         assert hand_loc > 5 * ncl_loc  # the S2 motivation, quantified

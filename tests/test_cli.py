@@ -6,7 +6,7 @@ import pytest
 
 from repro.nclc.__main__ import main
 
-from tests.conftest import ALLREDUCE_SRC, KVS_SRC, STAR_AND
+from tests.conftest import ALLREDUCE_SRC, STAR_AND
 
 
 @pytest.fixture()

@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.ncl.types import ArrayType, PointerType, is_signed, scalar_bits
+from repro.ncl.types import PointerType, is_signed, scalar_bits
 from repro.nclc import Compiler, WindowConfig
 from repro.ncp.wire import decode_frame, encode_frame
 from repro.nir import ir

@@ -5,7 +5,6 @@ runs: the generated P4 text, the backend reports, and the discrete-event
 simulation results are all checked for run-to-run stability.
 """
 
-import pytest
 
 from repro.apps.allreduce import AllReduceJob
 from repro.apps.workloads import random_arrays

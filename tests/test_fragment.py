@@ -139,7 +139,6 @@ class TestEndToEndFragmentedWindows:
         receiving host reassembles + runs the incoming kernel."""
         from repro.nclc import Compiler, WindowConfig
         from repro.runtime import Cluster
-        from repro.runtime.host_rt import NclHost
 
         SRC = """
         _net_ _at_("s1") unsigned executed[1] = {0};

@@ -3,7 +3,6 @@ the arch-transformed programs must behave identically to the bmv2 ones
 through the full cluster stack, and the controller must see through the
 register splits."""
 
-import pytest
 
 from repro.apps.allreduce import AllReduceJob
 from repro.apps.kvs_cache import KvsCluster

@@ -1,7 +1,6 @@
 """The post-unroll memory optimizations: memcpy expansion, store-to-load
 forwarding, predicated store fusion, and register-array splitting."""
 
-import pytest
 
 from repro.nir import ir
 from repro.nir.interp import DeviceState, run_kernel
@@ -12,10 +11,8 @@ from repro.nir.passes import (
     fold_constants,
     forward_stores,
     inline_calls,
-    merge_conditional_stores,
     optimize_switch,
     split_register_arrays,
-    unroll_loops,
 )
 
 from tests.conftest import ALLREDUCE_DEFINES, ALLREDUCE_SRC, lowered_module

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import NcpError
-from repro.ncl.types import I32, PointerType, U8, U32, U64
+from repro.ncl.types import PointerType, U8, U32, U64
 from repro.ncp.window import Window, Windower
 from repro.ncp.wire import (
     ChunkLayout,

@@ -157,8 +157,8 @@ class TestPythonSwitch:
     def test_program_output_ports(self):
         net = Network()
         a = net.add_host("a")
-        b = net.add_host("b")
-        c = net.add_host("c")
+        net.add_host("b")
+        net.add_host("c")
 
         def flood(data, in_port, node):
             return [(-1, data)]  # everything except ingress

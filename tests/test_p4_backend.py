@@ -6,7 +6,6 @@ from repro.errors import BackendRejection, PisaError
 from repro.p4.backend import check_program
 from repro.p4.model import (
     Action,
-    Apply,
     Do,
     HeaderType,
     IfNode,
@@ -20,7 +19,6 @@ from repro.p4.model import (
     RegisterArray,
     Table,
 )
-from repro.p4.printer import print_program
 from repro.pisa.arch import ArchProfile, BMV2, TOFINO_LIKE, profile_by_name
 
 

@@ -28,7 +28,6 @@ from repro.pisa.parser import Deparser, PacketParser
 from repro.pisa.phv import Phv
 from repro.pisa.pipeline import Pipeline, RegisterState
 from repro.pisa.switch_dev import PisaSwitch
-from repro.util.bits import pack_fields
 
 
 def tiny_program():

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import NclTypeError
 from repro.ncl import frontend
-from repro.ncl import types as T
 
 from tests.conftest import ALLREDUCE_DEFINES, ALLREDUCE_SRC, KVS_DEFINES, KVS_SRC
 
