@@ -42,12 +42,21 @@ def maybe_obs():
     """An enabled :class:`repro.obs.Observability` when ``REPRO_TRACE``
     is set (its value names the directory trace files are written to),
     else ``None`` -- the disabled fast path, so benchmark numbers with
-    tracing off are the real numbers."""
+    tracing off are the real numbers.
+
+    ``REPRO_INT`` additionally turns on in-band telemetry stamping; a
+    numeric value sets the per-packet hop cap (default 8)."""
     if not os.environ.get("REPRO_TRACE"):
         return None
     from repro.obs import Observability
 
-    return Observability()
+    int_cfg = None
+    int_env = os.environ.get("REPRO_INT")
+    if int_env:
+        from repro.obs import IntConfig
+
+        int_cfg = IntConfig(max_hops=int(int_env) if int_env.isdigit() else 8)
+    return Observability(int_config=int_cfg)
 
 
 def registry_snapshot(network, obs=None) -> dict:
@@ -64,16 +73,53 @@ def registry_snapshot(network, obs=None) -> dict:
 
 
 def write_trace(obs, name: str) -> Optional[Path]:
-    """Write the run's Chrome trace-event JSON into $REPRO_TRACE."""
+    """Write the run's artifacts into $REPRO_TRACE: the Chrome trace
+    JSON (for a viewer), the raw trace JSONL, and the lineage JSON --
+    the latter two are what ``python -m repro.obs.query`` reads."""
     if obs is None:
         return None
+    from repro.obs.lineage import LineageIndex
+
     outdir = Path(os.environ.get("REPRO_TRACE", "."))
     outdir.mkdir(parents=True, exist_ok=True)
     path = outdir / f"{name}.trace.json"
     with open(path, "w") as fp:
         obs.tracer.write_chrome(fp)
-    print(f"[obs] wrote {path} ({len(obs.tracer.events)} events)")
+    with open(outdir / f"{name}.trace.jsonl", "w") as fp:
+        obs.tracer.write_jsonl(fp)
+    index = LineageIndex.from_events(obs.tracer.events)
+    with open(outdir / f"{name}.lineage.json", "w") as fp:
+        index.write_json(fp)
+    print(f"[obs] wrote {path} (+.jsonl, +lineage.json; "
+          f"{len(obs.tracer.events)} events, {len(index.windows)} windows)")
     return path
+
+
+def lineage_summary(obs) -> Optional[dict]:
+    """Compact lineage counts for a results JSON: how many windows a
+    traced run produced and how their attempts ended."""
+    if obs is None:
+        return None
+    from repro.obs.lineage import LineageIndex
+
+    index = LineageIndex.from_events(obs.tracer.events)
+    delivered = dropped = retransmits = 0
+    for window in index.windows.values():
+        for branch in window.branches.values():
+            for attempt in branch.attempts.values():
+                if attempt.kind == "retransmit":
+                    retransmits += 1
+                outcome = attempt.outcome
+                if outcome == "delivered":
+                    delivered += 1
+                elif outcome.startswith("drop:"):
+                    dropped += 1
+    return {
+        "windows": len(index.windows),
+        "attempts_delivered": delivered,
+        "attempts_dropped": dropped,
+        "retransmits": retransmits,
+    }
 
 
 def loc(source: str) -> int:

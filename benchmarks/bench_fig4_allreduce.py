@@ -20,6 +20,7 @@ from repro.apps.workloads import random_arrays
 from repro.baselines.host_allreduce import ParameterServerAllReduce, RingAllReduce
 
 from benchmarks._util import (
+    lineage_summary,
     maybe_obs,
     print_table,
     record_once,
@@ -54,14 +55,18 @@ def one_round(n_workers: int, data_len: int, obs=None):
 def test_fig4_worker_scaling(benchmark):
     rows = []
     metrics = {}
+    lineage = {}
 
     def sweep():
         for n in (2, 4, 8):
             obs = maybe_obs()
             inc, inc_t, ps_t, ring_t = one_round(n, 512, obs=obs)
             # Per-layer breakdown into the results JSON; full packet
-            # trace to $REPRO_TRACE when tracing is on.
+            # trace + lineage to $REPRO_TRACE when tracing is on.
             metrics[f"workers={n}"] = registry_snapshot(inc.cluster.network, obs)
+            summary = lineage_summary(obs)
+            if summary is not None:
+                lineage[f"workers={n}"] = summary
             write_trace(obs, f"fig4_allreduce_w{n}")
             rows.append(
                 [
@@ -76,6 +81,8 @@ def test_fig4_worker_scaling(benchmark):
 
     record_once(benchmark, sweep)
     benchmark.extra_info["metrics"] = metrics
+    if lineage:
+        benchmark.extra_info["lineage"] = lineage
     print_table(
         "Fig 4: AllReduce completion time vs workers (512 int32)",
         ["workers", "INC us", "PS us", "ring us", "INC vs PS", "INC vs ring"],

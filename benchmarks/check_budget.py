@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Performance-budget gate: deterministic bench metrics vs budgets.json.
+
+Wall-clock benchmarks flake in CI; the simulator's own numbers do not.
+This script runs a *fast subset* of the benchmark scenarios and compares
+metrics that are *deterministic functions of the code* -- simulated
+completion time, bytes on the wire, switch packets processed, simulator
+events -- against the committed budgets in ``benchmarks/budgets.json``.
+A regression that makes the protocol chattier, the switch path process
+more packets, or completion time drift shows up here even though no
+wall-clock is measured.
+
+Each budget carries a tolerance (percent): intentional changes inside
+the tolerance pass, anything outside fails the gate. After an
+intentional change, regenerate with::
+
+    python benchmarks/check_budget.py --update
+
+Runs standalone (no pytest): ``python benchmarks/check_budget.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
+    sys.path.insert(0, str(REPO / "src"))
+
+BUDGETS_PATH = REPO / "benchmarks" / "budgets.json"
+SCHEMA = "repro.budgets/1"
+DEFAULT_TOLERANCE_PCT = 5.0
+
+
+def _switch_packets(network) -> int:
+    from repro.net.pisanode import PisaSwitchNode
+
+    return sum(
+        node.stats.processed
+        for node in network.nodes.values()
+        if isinstance(node, PisaSwitchNode)
+    )
+
+
+def measure() -> dict:
+    """The fast bench subset, as {metric: deterministic value}."""
+    from repro.apps.allreduce import AllReduceJob
+    from repro.apps.telemetry import TelemetryCluster
+    from repro.apps.workloads import random_arrays
+    from repro.obs import IntConfig, Observability
+
+    out = {}
+
+    # -- Fig 4 AllReduce, one INC round, untraced (the fast path) ----------
+    job = AllReduceJob(4, 512, 8)
+    arrays = random_arrays(4, 512, seed=4)
+    results, elapsed = job.run_round(arrays)
+    assert results[0] == AllReduceJob.expected(arrays)
+    net = job.cluster.network
+    out["fig4_allreduce.completion_us"] = round(elapsed * 1e6, 3)
+    out["fig4_allreduce.link_bytes"] = net.total_bytes_on_links()
+    out["fig4_allreduce.switch_packets"] = _switch_packets(net)
+    out["fig4_allreduce.sim_events"] = net.sim.events_processed
+
+    # -- the same round with INT stamping on: the telemetry byte tax ------
+    obs = Observability(int_config=IntConfig(max_hops=8))
+    job_int = AllReduceJob(4, 512, 8, obs=obs)
+    results, elapsed = job_int.run_round(arrays)
+    assert results[0] == AllReduceJob.expected(arrays)
+    out["fig4_allreduce_int.completion_us"] = round(elapsed * 1e6, 3)
+    out["fig4_allreduce_int.link_bytes"] = (
+        job_int.cluster.network.total_bytes_on_links()
+    )
+    snap = obs.snapshot()
+    out["fig4_allreduce_int.int_records"] = sum(
+        s["value"] for s in snap["int.records"]["series"]
+    )
+
+    # -- two-switch flow telemetry (SPMD path), untraced ------------------
+    cluster = TelemetryCluster(n_senders=2, slots=16, hh_threshold=3)
+    for _ in range(6):
+        cluster.send_flows(0, [5])
+    cluster.send_flows(1, [1, 2, 3])
+    assert cluster.heavy_hitters() == [5]
+    out["telemetry.windows_seen"] = cluster.total_seen()
+    out["telemetry.link_bytes"] = (
+        cluster.cluster.network.total_bytes_on_links()
+    )
+    return out
+
+
+def load_budgets() -> dict:
+    with open(BUDGETS_PATH) as fp:
+        data = json.load(fp)
+    if data.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"error: {BUDGETS_PATH} has schema {data.get('schema')!r}, "
+            f"expected {SCHEMA!r}"
+        )
+    return data
+
+
+def check(measured: dict, budgets: dict) -> int:
+    failures = []
+    rows = []
+    entries = budgets["metrics"]
+    for name in sorted(set(measured) | set(entries)):
+        if name not in entries:
+            failures.append(f"{name}: measured but not budgeted; run --update")
+            continue
+        if name not in measured:
+            failures.append(f"{name}: budgeted but no longer measured")
+            continue
+        entry = entries[name]
+        budget = entry["budget"]
+        tol_pct = entry.get("tolerance_pct", DEFAULT_TOLERANCE_PCT)
+        value = measured[name]
+        allowed = abs(budget) * tol_pct / 100.0
+        delta = value - budget
+        ok = abs(delta) <= allowed
+        rows.append((name, budget, value, f"{tol_pct:g}%", "ok" if ok else "FAIL"))
+        if not ok:
+            failures.append(
+                f"{name}: measured {value} vs budget {budget} "
+                f"(|delta| {abs(delta):g} > allowed {allowed:g})"
+            )
+    width = max(len(r[0]) for r in rows) if rows else 10
+    print(f"{'metric':<{width}}  {'budget':>14}  {'measured':>14}  tol   status")
+    for name, budget, value, tol, status in rows:
+        print(f"{name:<{width}}  {budget:>14}  {value:>14}  {tol:>4}  {status}")
+    if failures:
+        print("\nbudget check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbudget check passed ({len(rows)} metrics)")
+    return 0
+
+
+def update(measured: dict) -> None:
+    # Preserve any hand-tuned tolerances across regeneration.
+    old = {}
+    if BUDGETS_PATH.exists():
+        old = load_budgets().get("metrics", {})
+    data = {
+        "schema": SCHEMA,
+        "comment": (
+            "Deterministic simulated metrics from the fast bench subset "
+            "(benchmarks/check_budget.py). Regenerate with --update after "
+            "an intentional perf-relevant change."
+        ),
+        "metrics": {
+            name: {
+                "budget": measured[name],
+                "tolerance_pct": old.get(name, {}).get(
+                    "tolerance_pct", DEFAULT_TOLERANCE_PCT
+                ),
+            }
+            for name in sorted(measured)
+        },
+    }
+    with open(BUDGETS_PATH, "w") as fp:
+        json.dump(data, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"wrote {BUDGETS_PATH} ({len(measured)} metrics)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="regenerate budgets.json from the current measurement",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the measured metrics as JSON and exit",
+    )
+    args = parser.parse_args(argv)
+    measured = measure()
+    if args.json:
+        print(json.dumps(measured, indent=2, sort_keys=True))
+        return 0
+    if args.update:
+        update(measured)
+        return 0
+    if not BUDGETS_PATH.exists():
+        print(
+            f"error: {BUDGETS_PATH} missing; create it with --update",
+            file=sys.stderr,
+        )
+        return 1
+    return check(measured, load_budgets())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

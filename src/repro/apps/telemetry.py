@@ -67,6 +67,7 @@ class TelemetryCluster:
         slots: int = 64,
         hh_threshold: int = 10,
         profile: Optional[str] = None,
+        obs=None,
     ):
         self.slots = slots
         self.program = Compiler(profile=profile).compile(
@@ -75,7 +76,7 @@ class TelemetryCluster:
             windows={"monitor": WindowConfig(mask=(1, 3))},
             defines={"SLOTS": slots},
         )
-        self.cluster = Cluster.from_program(self.program)
+        self.cluster = Cluster.from_program(self.program, obs=obs)
         self.cluster.controller.ctrl_wr("hh_threshold", hh_threshold)
         self.senders = [self.cluster.host(f"src{i}") for i in range(n_senders)]
         self.collector = self.cluster.host("collector")

@@ -36,6 +36,9 @@ NCP_MAGIC = 0xC317
 NCP_VERSION = 1
 
 FLAG_LAST = 0x01
+#: (0x02 is FLAG_FRAG, defined in repro.ncp.fragment)
+#: frame carries an in-band telemetry trailer (see repro.obs.int)
+FLAG_INT = 0x04
 
 ETH_FIELDS: List[Tuple[str, int]] = [("dst", 48), ("src", 48), ("ethertype", 16)]
 IPV4_FIELDS: List[Tuple[str, int]] = [

@@ -77,6 +77,12 @@ class Link:
             return self.a
         raise SimulationError(f"{node} is not attached to this link")
 
+    def backlog_bytes(self, sender: "Node", now: float) -> float:
+        """Bytes queued in *sender*'s direction at time ``now`` -- the
+        egress queue depth switches stamp into INT records, and the
+        quantity the overflow check compares against the buffer limit."""
+        return max(0.0, self._free_at[sender] - now) * self.bandwidth / 8
+
     @property
     def track(self) -> str:
         return f"link {self.a.name}<->{self.b.name}"
@@ -90,6 +96,33 @@ class Link:
             args["from"] = meta["from"]
         return args
 
+    def _trace_drop(
+        self, obs, sim: "Simulator", sender: "Node", receiver: "Node",
+        data: bytes, cause: str, backlog: Optional[float] = None,
+    ) -> None:
+        """Emit the drop instant and, for an INT-carrying frame, the
+        partial telemetry stack it was carrying when it died -- that is
+        what lets the lineage index show *which attempt* a loss ate."""
+        args = self._trace_args(sender, receiver, data)
+        args["cause"] = cause
+        if backlog is not None:
+            args["backlog_bytes"] = int(backlog)
+        now = sim.now()
+        obs.tracer.instant("drop", now, track=self.track, cat="link", args=args)
+        from repro.obs.int import carries_int, peek_stack, stack_event_args
+
+        if carries_int(data):
+            stack = peek_stack(data)
+            meta = peek_frame(data)
+            if stack is not None and meta is not None:
+                obs.tracer.instant(
+                    "int:stack", now, track=self.track, cat="int",
+                    args=stack_event_args(
+                        stack, meta["kernel"], meta["seq"], meta["from"],
+                        outcome=f"drop:{cause}",
+                    ),
+                )
+
     def transmit(self, sim: "Simulator", sender: "Node", data: bytes) -> None:
         """Send a frame from *sender* to the other end."""
         receiver = self.other(sender)
@@ -97,26 +130,20 @@ class Link:
         if self.loss > 0 and self._rng.random() < self.loss:
             self.stats.drops_loss += 1
             if obs.enabled:
-                args = self._trace_args(sender, receiver, data)
-                args["cause"] = "loss"
-                obs.tracer.instant(
-                    "drop", sim.now(), track=self.track, cat="link", args=args
-                )
+                self._trace_drop(obs, sim, sender, receiver, data, "loss")
             return
         size_bits = len(data) * 8
         serialization = size_bits / self.bandwidth
         now = sim.now()
         start = max(now, self._free_at[sender])
         if self.queue_limit_bytes is not None:
-            backlog_bytes = (start - now) * self.bandwidth / 8
+            backlog_bytes = self.backlog_bytes(sender, now)
             if backlog_bytes + len(data) > self.queue_limit_bytes:
                 self.stats.drops_overflow += 1
                 if obs.enabled:
-                    args = self._trace_args(sender, receiver, data)
-                    args["cause"] = "overflow"
-                    args["backlog_bytes"] = int(backlog_bytes)
-                    obs.tracer.instant(
-                        "drop", now, track=self.track, cat="link", args=args
+                    self._trace_drop(
+                        obs, sim, sender, receiver, data, "overflow",
+                        backlog=backlog_bytes,
                     )
                 return
         done = start + serialization

@@ -78,19 +78,21 @@ class PisaSwitchNode(Node):
                 ).labels(switch=self.name).observe(len(result.phv.fields))
             else:
                 result = self.switch.process(data, in_port)
+            int_cfg = obs.int_config  # None on NULL_OBS and untelemetered runs
             verdict = result.verdict
             if verdict == "drop":
                 self.stats.drops += 1
+                if int_cfg is not None:
+                    self._int_absorb(obs, int_cfg, result, "switch")
                 return
             if verdict == "bcast":
                 # "_bcast() sends a window to all devices, one hop away -- in
                 # the overlay -- from the current location" (S4.1): that
                 # includes the neighbor it arrived from.
-                for port in range(len(self.links)):
-                    self.send(result.data, port)
+                self._forward(result, range(len(self.links)), int_cfg)
                 return
             if verdict == "reflect":
-                self.send(result.data, in_port)
+                self._forward(result, (in_port,), int_cfg)
                 return
             # pass: a labelled pass overrides normal routing.
             if result.label_id is not None:
@@ -100,13 +102,80 @@ class PisaSwitchNode(Node):
                         f"{self.name}: _pass toward unknown node "
                         f"{result.label_id}"
                     )
-                self.send(result.data, port)
+                self._forward(result, (port,), int_cfg)
                 return
             egress = result.phv.read("meta.egress_port")
             if egress >= len(self.links):
                 # Route miss left the default egress; treat as drop.
                 self.stats.drops += 1
+                if int_cfg is not None:
+                    self._int_absorb(obs, int_cfg, result, "route-miss")
                 return
-            self.send(result.data, egress)
+            self._forward(result, (egress,), int_cfg)
 
         self.sim.schedule(self.PIPELINE_DELAY, run)
+
+    # -- in-band telemetry hooks ---------------------------------------------
+
+    def _forward(self, result, ports, int_cfg) -> None:
+        """Send the result out every port, stamping a per-hop INT record
+        onto each copy (the queue depth differs per egress link, so every
+        copy gets its own record)."""
+        if int_cfg is None:
+            for port in ports:
+                self.send(result.data, port)
+            return
+        from repro.obs.int import carries_int, stamp_hop
+
+        now = self.sim.now()
+        data = result.data
+        stamped = carries_int(data)
+        for port in ports:
+            frame = data
+            if stamped:
+                frame, _ = stamp_hop(
+                    frame,
+                    int_cfg,
+                    hop_id=self.node_id,
+                    ingress_ts=now - self.PIPELINE_DELAY,
+                    egress_ts=now,
+                    qdepth_bytes=int(self.links[port].backlog_bytes(self, now)),
+                    tables_matched=result.tables_matched,
+                )
+            self.send(frame, port)
+
+    def _int_absorb(self, obs, int_cfg, result, cause: str) -> None:
+        """A packet consumed here (kernel ``_drop()`` or a route miss):
+        stamp the final hop record with the DROPPED flag and emit the
+        stack into the trace, since delivery will never surface it."""
+        from repro.ncp.wire import peek_frame
+        from repro.obs.int import (
+            carries_int, peek_stack, stack_event_args, stamp_hop,
+        )
+
+        data = result.data
+        if not carries_int(data):
+            return
+        now = self.sim.now()
+        data, _ = stamp_hop(
+            data,
+            int_cfg,
+            hop_id=self.node_id,
+            ingress_ts=now - self.PIPELINE_DELAY,
+            egress_ts=now,
+            qdepth_bytes=0,
+            tables_matched=result.tables_matched,
+            dropped=True,
+        )
+        stack = peek_stack(data)
+        meta = peek_frame(data)
+        if stack is None or meta is None:
+            return
+        obs.tracer.instant(
+            "int:stack", now, track=f"switch {self.name}", cat="int",
+            args=stack_event_args(
+                stack, meta["kernel"], meta["seq"], meta["from"],
+                outcome=f"drop:{cause}",
+                node_names={self.node_id: self.name},
+            ),
+        )

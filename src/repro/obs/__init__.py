@@ -18,6 +18,7 @@ branch.
 
 from repro.obs.compiler import CompileTrace, ir_size
 from repro.obs.context import NULL_OBS, Observability
+from repro.obs.int import IntConfig, IntError, IntStack, carries_int, peek_stack
 from repro.obs.netmetrics import SwitchPacketTrace, collect_network_metrics
 from repro.obs.registry import (
     Counter,
@@ -36,6 +37,9 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "IntConfig",
+    "IntError",
+    "IntStack",
     "MetricFamily",
     "MetricsRegistry",
     "NULL_OBS",
@@ -44,6 +48,8 @@ __all__ = [
     "SwitchPacketTrace",
     "TraceEvent",
     "Tracer",
+    "carries_int",
     "collect_network_metrics",
     "ir_size",
+    "peek_stack",
 ]

@@ -43,10 +43,14 @@ class Observability:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         wall_clock: Optional[Callable[[], float]] = None,
+        int_config=None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.wall_clock = wall_clock
+        #: an :class:`repro.obs.int.IntConfig` turns on in-band telemetry
+        #: stamping for the run; None keeps the data plane untouched
+        self.int_config = int_config
 
     def snapshot(self):
         """Registry snapshot (runs collectors)."""
@@ -65,6 +69,7 @@ class _NullObservability:
     registry = None
     tracer = None
     wall_clock = None
+    int_config = None
 
     def snapshot(self):
         return {}

@@ -1,0 +1,266 @@
+"""Run-explanation CLI over saved runs: ``python -m repro.obs.query``.
+
+Works offline from the artifacts a run writes -- a trace JSONL
+(:meth:`repro.obs.Tracer.write_jsonl`), a lineage JSON
+(:meth:`repro.obs.lineage.LineageIndex.write_json`), and optionally a
+metrics snapshot (:meth:`repro.obs.Observability.snapshot`, as JSON).
+
+Subcommands::
+
+    lineage     build the lineage JSON from a trace JSONL
+    explain     full emit -> hops -> delivery story of one window
+    slowest     delivered windows by emit-to-delivery latency
+    drops       every drop, with cause and site
+    stragglers  per-hop records above a latency percentile threshold
+
+Examples::
+
+    python -m repro.obs.query lineage --trace run.trace.jsonl -o run.lineage.json
+    python -m repro.obs.query explain --lineage run.lineage.json --window aggregate:3
+    python -m repro.obs.query slowest --trace run.trace.jsonl --top 10
+    python -m repro.obs.query stragglers --lineage run.lineage.json \\
+        --metrics run.metrics.json --percentile 99
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.obs.lineage import LineageError, LineageIndex
+
+
+def load_trace_events(path: str) -> List[Dict]:
+    """Read a trace JSONL (one event object per line)."""
+    events = []
+    with open(path) as fp:
+        for line in fp:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def load_index(args: argparse.Namespace) -> LineageIndex:
+    if args.lineage:
+        with open(args.lineage) as fp:
+            return LineageIndex.from_json(json.load(fp))
+    if args.trace:
+        return LineageIndex.from_events(load_trace_events(args.trace))
+    raise LineageError("pass --trace <run.jsonl> or --lineage <run.json>")
+
+
+def parse_window(spec: str) -> Tuple[Union[int, str], int]:
+    """``KERNEL:SEQ`` -> (kernel id or name, seq)."""
+    kernel, sep, seq = spec.rpartition(":")
+    if not sep or not seq.lstrip("-").isdigit():
+        raise LineageError(
+            f"bad --window {spec!r}; expected KERNEL:SEQ (e.g. aggregate:3 "
+            "or 1:3)"
+        )
+    return (int(kernel) if kernel.isdigit() else kernel), int(seq)
+
+
+# -- subcommands ---------------------------------------------------------------
+
+
+def cmd_lineage(args: argparse.Namespace) -> int:
+    index = LineageIndex.from_events(load_trace_events(args.trace))
+    if args.output == "-":
+        index.write_json(sys.stdout)
+    else:
+        with open(args.output, "w") as fp:
+            index.write_json(fp)
+        print(f"wrote {args.output} ({len(index.windows)} windows)")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    index = load_index(args)
+    kernel, seq = parse_window(args.window)
+    print(index.explain(kernel, seq))
+    return 0
+
+
+def cmd_slowest(args: argparse.Namespace) -> int:
+    index = load_index(args)
+    rows = index.slowest(args.top)
+    if not rows:
+        print("no delivered windows in this run")
+        return 0
+    print(f"{'window':<24} {'latency':>12} {'branches':>9} {'attempts':>9}")
+    for window in rows:
+        name = f"{window.kernel or window.kernel_id}:{window.seq}"
+        attempts = sum(len(b.attempts) for b in window.branches.values())
+        print(
+            f"{name:<24} {window.latency() * 1e6:>10.3f}us "
+            f"{len(window.branches):>9} {attempts:>9}"
+        )
+    return 0
+
+
+def cmd_drops(args: argparse.Namespace) -> int:
+    index = load_index(args)
+    records = index.drops()
+    if not records:
+        print("no drops in this run")
+        return 0
+    for window, branch, attempt, record in records:
+        name = f"{window.kernel or window.kernel_id}:{window.seq}"
+        origin = branch.label or index.node_names.get(branch.from_node) \
+            or f"node {branch.from_node}"
+        cause = record.get("outcome", record.get("cause"))
+        print(
+            f"{name:<24} from={origin:<8} attempt={attempt.number} "
+            f"t={float(record['ts']) * 1e6:.3f}us at {record['site']}: {cause}"
+        )
+    return 0
+
+
+def _pooled_threshold(metrics_path: str, percentile: float) -> Optional[float]:
+    """Percentile threshold from the registry's ``int.hop_latency_ns``
+    histograms: pool the cumulative bucket counts across every hop
+    series and take the smallest bucket bound covering ``percentile``
+    of all observations (an upper-bound estimate, like Prometheus's
+    ``histogram_quantile``)."""
+    with open(metrics_path) as fp:
+        snap = json.load(fp)
+    family = snap.get("int.hop_latency_ns")
+    if not family:
+        return None
+    pooled: Dict[str, int] = {}
+    total = 0
+    for series in family["series"]:
+        value = series["value"]
+        if not value.get("count"):
+            continue
+        total += value["count"]
+        for bound, cum in value["buckets"].items():
+            pooled[bound] = pooled.get(bound, 0) + cum
+    if not total:
+        return None
+    need = total * percentile / 100.0
+    finite = sorted(
+        (float(b), c) for b, c in pooled.items() if b != "+Inf"
+    )
+    for bound, cum in finite:
+        if cum >= need:
+            return bound
+    return float("inf")
+
+
+def cmd_stragglers(args: argparse.Namespace) -> int:
+    index = load_index(args)
+    entries = index.hop_latencies()
+    if not entries:
+        print("no delivered INT stacks in this run")
+        return 0
+    threshold = None
+    source = ""
+    if args.metrics:
+        threshold = _pooled_threshold(args.metrics, args.percentile)
+        source = "registry histogram buckets"
+    if threshold is None:
+        # No metrics snapshot: exact percentile over the lineage's own
+        # per-hop latencies.
+        ordered = sorted(e["latency_ns"] for e in entries)
+        rank = min(
+            len(ordered) - 1, int(len(ordered) * args.percentile / 100.0)
+        )
+        threshold = ordered[rank]
+        source = "lineage hop records"
+    print(
+        f"p{args.percentile:g} threshold: {threshold:g}ns "
+        f"(from {source}; {len(entries)} hop records)"
+    )
+    slow = [e for e in entries if e["latency_ns"] >= threshold]
+    if not slow:
+        print("no hop records at or above the threshold")
+        return 0
+    slow.sort(key=lambda e: (-e["latency_ns"], str(e["kernel_id"]),
+                             e["seq"], e["attempt"]))
+    for e in slow[: args.top]:
+        name = f"{e['kernel'] or e['kernel_id']}:{e['seq']}"
+        hop = f"{e['node']} (#{e['hop']})" if e["node"] else f"#{e['hop']}"
+        print(
+            f"  {name:<20} attempt={e['attempt']} hop {hop:<14} "
+            f"latency={e['latency_ns']}ns qdepth={e['qdepth']}B"
+        )
+    return 0
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def _add_inputs(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--trace", help="trace JSONL (Tracer.write_jsonl)")
+    sub.add_argument("--lineage", help="lineage JSON (LineageIndex.write_json)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.query",
+        description="explain saved runs: window lineage, drops, stragglers",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    lineage = subs.add_parser(
+        "lineage", help="build lineage JSON from a trace JSONL"
+    )
+    lineage.add_argument("--trace", required=True)
+    lineage.add_argument("-o", "--output", default="-",
+                         help="output path (default: stdout)")
+    lineage.set_defaults(fn=cmd_lineage)
+
+    explain = subs.add_parser(
+        "explain", help="full emit -> hops -> delivery story of one window"
+    )
+    _add_inputs(explain)
+    explain.add_argument("--window", required=True, metavar="KERNEL:SEQ",
+                         help="e.g. aggregate:3 or 1:3")
+    explain.set_defaults(fn=cmd_explain)
+
+    slowest = subs.add_parser(
+        "slowest", help="delivered windows by emit-to-delivery latency"
+    )
+    _add_inputs(slowest)
+    slowest.add_argument("--top", type=int, default=10)
+    slowest.set_defaults(fn=cmd_slowest)
+
+    drops = subs.add_parser("drops", help="every drop, with cause and site")
+    _add_inputs(drops)
+    drops.set_defaults(fn=cmd_drops)
+
+    stragglers = subs.add_parser(
+        "stragglers", help="hop records above a latency percentile"
+    )
+    _add_inputs(stragglers)
+    stragglers.add_argument("--metrics",
+                            help="metrics snapshot JSON (threshold source)")
+    stragglers.add_argument("--percentile", type=float, default=99.0)
+    stragglers.add_argument("--top", type=int, default=20)
+    stragglers.set_defaults(fn=cmd_stragglers)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (LineageError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into head/less that quit early -- not an error,
+        # but Python would print a traceback at interpreter shutdown
+        # unless stdout is detached first.
+        sys.stderr.close()
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,17 +98,23 @@ class Histogram:
         return len(self.values)
 
     def percentile(self, p: float) -> float:
-        """Exact percentile (0 <= p <= 100) with linear interpolation."""
+        """Exact percentile (0 <= p <= 100) with linear interpolation.
+
+        The extremes short-circuit to min/max so p=0 and p=100 never go
+        through rank arithmetic (float rounding there could otherwise
+        index past the sample or interpolate the endpoints)."""
         if not 0 <= p <= 100:
             raise ObservabilityError(f"percentile {p} outside [0, 100]")
         if not self.values:
             raise ObservabilityError("percentile of an empty histogram")
         ordered = sorted(self.values)
-        if len(ordered) == 1:
+        if p == 0:
             return float(ordered[0])
+        if p == 100 or len(ordered) == 1:
+            return float(ordered[-1])
         rank = (p / 100.0) * (len(ordered) - 1)
         lo = math.floor(rank)
-        hi = math.ceil(rank)
+        hi = min(math.ceil(rank), len(ordered) - 1)
         if lo == hi:
             return float(ordered[lo])
         frac = rank - lo

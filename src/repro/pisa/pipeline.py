@@ -97,6 +97,9 @@ class Pipeline:
         #: per-packet trace observer (e.g. repro.obs.SwitchPacketTrace),
         #: set around one run() by the switch device; None -> no tracing
         self.observer = None
+        #: tables matched (hit) by the most recent run() -- the per-hop
+        #: "tables" field of an INT record (repro.obs.int)
+        self.last_tables_matched = 0
 
     # -- expression evaluation ------------------------------------------------
 
@@ -211,6 +214,7 @@ class Pipeline:
         entry = self._match(table, key)
         if entry is not None:
             self.stats.table_hits[name] = self.stats.table_hits.get(name, 0) + 1
+            self.last_tables_matched += 1
             if self.observer is not None:
                 self.observer.table(name, True, entry.action)
             self.run_action(entry.action, phv, entry.args)
@@ -247,6 +251,7 @@ class Pipeline:
 
     def run(self, phv: Phv) -> None:
         self.stats.packets += 1
+        self.last_tables_matched = 0
         self._run_nodes(self.program.control, phv)
 
     def _run_nodes(self, nodes: Sequence[ControlNode], phv: Phv) -> None:

@@ -32,13 +32,22 @@ FWD_NAMES = ("pass", "drop", "bcast", "reflect")
 class SwitchResult:
     """Outcome of processing one packet."""
 
-    __slots__ = ("verdict", "label_id", "data", "phv")
+    __slots__ = ("verdict", "label_id", "data", "phv", "tables_matched")
 
-    def __init__(self, verdict: str, label_id: Optional[int], data: bytes, phv: Phv):
+    def __init__(
+        self,
+        verdict: str,
+        label_id: Optional[int],
+        data: bytes,
+        phv: Phv,
+        tables_matched: int = 0,
+    ):
         self.verdict = verdict  # 'pass' | 'drop' | 'bcast' | 'reflect'
         self.label_id = label_id  # AND node id for labelled _pass, else None
         self.data = data  # deparsed output packet
         self.phv = phv
+        #: tables hit during the pipeline run (stamped into INT records)
+        self.tables_matched = tables_matched
 
     def __repr__(self) -> str:
         label = f"->{self.label_id}" if self.label_id is not None else ""
@@ -81,6 +90,7 @@ class PisaSwitch:
             None if label == NO_LABEL else label,
             out,
             phv,
+            tables_matched=self.pipeline.last_tables_matched,
         )
 
     # -- control plane -----------------------------------------------------------

@@ -80,6 +80,9 @@ class NclHost:
         self.inbox: Dict[str, List[Window]] = {}
         self.windows_sent = 0
         self.windows_received = 0
+        self.windows_retransmitted = 0
+        #: retransmission attempt counters by (kernel, seq)
+        self._retx_attempts: Dict[tuple, int] = {}
         node.receiver = self._on_frame
 
     # -- observability ----------------------------------------------------------
@@ -95,12 +98,24 @@ class NclHost:
     def _window_count(self, obs, event: str, kernel: str) -> None:
         """Window lifecycle counter: open (cut from an array by the
         windower), flush (framed and put on the wire), recv (decoded at
-        a host), retransmit (reserved for a reliable transport)."""
+        a host), retransmit (re-flushed by :meth:`retransmit_window`)."""
         obs.registry.counter(
             "ncp.windows",
             "window lifecycle events, by kernel",
             ("host", "kernel", "event"),
         ).labels(host=self.node.name, kernel=kernel, event=event).inc()
+
+    @property
+    def _node_labels(self) -> Dict[int, str]:
+        """AND node id -> label, for annotating INT hop records."""
+        labels = self.__dict__.get("_node_labels_cache")
+        if labels is None:
+            labels = {
+                node.node_id: label
+                for label, node in self.program.and_spec.nodes.items()
+            }
+            self.__dict__["_node_labels_cache"] = labels
+        return labels
 
     # -- address helpers --------------------------------------------------------
 
@@ -207,7 +222,35 @@ class NclHost:
                 )
         return values
 
-    def _send_window(self, kernel: str, window: Window, dst: Union[str, int]) -> None:
+    def retransmit_window(
+        self,
+        kernel: str,
+        window: Window,
+        dst: Union[str, int],
+    ) -> int:
+        """Re-send a window that is presumed lost (the building block for
+        reliable transports layered over NCP). Each retransmission of a
+        (kernel, seq) gets an increasing attempt number, which rides in
+        the INT trailer so the lineage index shows every attempt as a
+        distinct branch with its own per-hop records. Returns the attempt
+        number used."""
+        key = (kernel, window.seq)
+        attempt = self._retx_attempts.get(key, 0) + 1
+        self._retx_attempts[key] = attempt
+        obs = self._obs
+        if obs.enabled:
+            self._window_count(obs, "retransmit", kernel)
+        self._send_window(kernel, window, dst, attempt=attempt)
+        self.windows_retransmitted += 1
+        return attempt
+
+    def _send_window(
+        self,
+        kernel: str,
+        window: Window,
+        dst: Union[str, int],
+        attempt: int = 0,
+    ) -> None:
         layout = self.program.layouts[kernel]
         frame = encode_frame(
             layout,
@@ -220,16 +263,20 @@ class NclHost:
             from_node=window.from_node,
         )
         obs = self._obs
+        int_cfg = obs.int_config
         if obs.enabled:
             self._window_count(obs, "flush", kernel)
             obs.tracer.instant(
-                "window:send",
+                "window:send" if attempt == 0 else "window:retransmit",
                 self.node.sim.now(),
                 track=self._track,
                 cat="ncp",
                 args={
                     "kernel": kernel,
+                    "kernel_id": layout.kernel_id,
                     "seq": window.seq,
+                    "from": window.from_node,
+                    "attempt": attempt,
                     "dst": str(dst),
                     "bytes": len(frame),
                     "last": int(window.last),
@@ -244,9 +291,19 @@ class NclHost:
                     "ncp.fragments", "NCP fragments, by direction",
                     ("host", "event"),
                 ).labels(host=self.node.name, event="sent").inc(len(pieces))
+            if int_cfg is not None:
+                # Fragment first, then arm: every fragment travels alone,
+                # so every fragment collects its own per-hop stack.
+                from repro.obs.int import attach_tail
+
+                pieces = [attach_tail(p, attempt) for p in pieces]
             for piece in pieces:
                 self.node.transmit(piece, self._node_id_of(dst))
             return
+        if int_cfg is not None:
+            from repro.obs.int import attach_tail
+
+            frame = attach_tail(frame, attempt)
         self.node.transmit(frame, self._node_id_of(dst))
 
     # -- incoming path ------------------------------------------------------------------
@@ -283,8 +340,11 @@ class NclHost:
 
     def _on_frame(self, data: bytes) -> None:
         from repro.ncp.fragment import is_fragment
+        from repro.obs.int import carries_int
 
         obs = self._obs
+        if carries_int(data):
+            data = self._strip_int(obs, data)
         if is_fragment(data):
             try:
                 complete = self._reassembler.feed(data)
@@ -317,6 +377,7 @@ class NclHost:
                 cat="ncp",
                 args={
                     "kernel": kernel_name,
+                    "kernel_id": frame.kernel_id,
                     "seq": frame.seq,
                     "from": frame.from_node,
                     "last": int(frame.last),
@@ -338,6 +399,45 @@ class NclHost:
             self._run_in_kernel(reg, kernel_name, window)
             return
         self.inbox.setdefault(kernel_name, []).append(window)
+
+    def _strip_int(self, obs, data: bytes) -> bytes:
+        """Strip the INT trailer at delivery: emit the per-hop stack as
+        an ``int:stack`` trace event (the lineage index's raw material)
+        and fold it into the registry."""
+        from repro.ncp.fragment import FRAG_FIELDS, FRAG_KERNEL_BIT
+        from repro.ncp.wire import (
+            ETH_FIELDS, IPV4_FIELDS, NCP_FIELDS, UDP_FIELDS, peek_frame,
+        )
+        from repro.obs.int import (
+            record_stack_metrics, stack_event_args, strip_stack,
+        )
+        from repro.util.bits import unpack_fields
+
+        bare, stack = strip_stack(data)
+        if stack is None or not obs.enabled:
+            return bare
+        meta = peek_frame(bare)
+        if meta is None:
+            return bare
+        frag = None
+        kernel_id = meta["kernel"]
+        if kernel_id & FRAG_KERNEL_BIT:
+            kernel_id &= ~FRAG_KERNEL_BIT
+            rest = bare
+            for layout in (ETH_FIELDS, IPV4_FIELDS, UDP_FIELDS, NCP_FIELDS):
+                _, rest = unpack_fields(layout, rest)
+            fragh, _ = unpack_fields(FRAG_FIELDS, rest)
+            frag = fragh["index"]
+        now = self.node.sim.now()
+        obs.tracer.instant(
+            "int:stack", now, track=self._track, cat="int",
+            args=stack_event_args(
+                stack, kernel_id, meta["seq"], meta["from"],
+                outcome="delivered", frag=frag, node_names=self._node_labels,
+            ),
+        )
+        record_stack_metrics(obs.registry, self.node.name, stack, now)
+        return bare
 
     def _run_in_kernel(self, reg: _InRegistration, out_kernel: str, window: Window) -> None:
         out_info = self.program.unit.out_kernels[out_kernel]

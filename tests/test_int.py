@@ -1,0 +1,463 @@
+"""In-band network telemetry: trailer wire format, per-hop stamping,
+truncation semantics, the causal lineage index (including retransmits
+and fragments), and the ``python -m repro.obs.query`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ncp.wire import ChunkLayout, FLAG_INT, KernelLayout, encode_frame
+from repro.ncp.window import Window
+from repro.nclc import Compiler, WindowConfig
+from repro.obs import IntConfig, Observability
+from repro.obs.int import (
+    HOP_BYTES,
+    IntError,
+    TAIL_BYTES,
+    attach_tail,
+    carries_int,
+    peek_stack,
+    stamp_hop,
+    strip_stack,
+)
+from repro.obs.lineage import LineageError, LineageIndex
+from repro.runtime import Cluster
+
+_FLAGS_OFF = 14 + 20 + 8 + 3
+
+
+def make_frame(seq: int = 0, values=(1, 2, 3, 4)) -> bytes:
+    layout = KernelLayout(1, "k", [ChunkLayout("d", len(values), 32, False)])
+    return encode_frame(layout, src_node=0, dst_node=1, seq=seq,
+                        chunks=[list(values)])
+
+
+# ---------------------------------------------------------------------------
+# trailer wire format
+# ---------------------------------------------------------------------------
+
+
+class TestWireFormat:
+    def test_attach_sets_flag_and_empty_tail(self):
+        frame = make_frame()
+        assert not carries_int(frame)
+        armed = attach_tail(frame)
+        assert carries_int(armed)
+        assert len(armed) == len(frame) + TAIL_BYTES
+        assert armed[_FLAGS_OFF] & FLAG_INT
+        stack = peek_stack(armed)
+        assert len(stack) == 0
+        assert stack.attempt == 0
+        assert not stack.truncated
+
+    def test_attach_twice_rejected(self):
+        armed = attach_tail(make_frame())
+        with pytest.raises(IntError, match="already carries"):
+            attach_tail(armed)
+
+    def test_strip_restores_original_bytes(self):
+        frame = make_frame()
+        bare, stack = strip_stack(attach_tail(frame))
+        assert bare == frame  # FLAG_INT cleared, trailer gone
+        assert stack is not None
+        # a frame without a trailer passes through unchanged
+        same, none = strip_stack(frame)
+        assert same == frame and none is None
+
+    def test_peek_on_plain_frame_is_none(self):
+        assert peek_stack(make_frame()) is None
+        assert not carries_int(b"\x00" * 64)  # non-NCP bytes
+
+    def test_hop_record_round_trips(self):
+        armed = attach_tail(make_frame(), attempt=3)
+        stamped, ok = stamp_hop(
+            armed, IntConfig(max_hops=4), hop_id=9,
+            ingress_ts=1.5e-6, egress_ts=2.5e-6,
+            qdepth_bytes=1234, tables_matched=2,
+        )
+        assert ok
+        assert len(stamped) == len(armed) + HOP_BYTES
+        stack = peek_stack(stamped)
+        assert stack.attempt == 3
+        (hop,) = stack.hops
+        assert hop["hop"] == 9
+        assert hop["ingress_ns"] == 1500
+        assert hop["egress_ns"] == 2500
+        assert hop["qdepth"] == 1234
+        assert hop["tables"] == 2
+        assert hop["flags"] == 0
+
+    def test_dropped_flag_and_stacking_order(self):
+        frame = attach_tail(make_frame())
+        cfg = IntConfig(max_hops=4)
+        frame, _ = stamp_hop(frame, cfg, 1, 0.0, 1e-6, 0, 0)
+        frame, _ = stamp_hop(frame, cfg, 2, 2e-6, 3e-6, 5, 1, dropped=True)
+        stack = peek_stack(frame)
+        assert [h["hop"] for h in stack.hops] == [1, 2]
+        assert stack.hops[0]["flags"] == 0
+        assert stack.hops[1]["flags"] == 0x01
+
+
+# ---------------------------------------------------------------------------
+# truncation semantics
+# ---------------------------------------------------------------------------
+
+
+class TestTruncation:
+    def test_hop_cap(self):
+        cfg = IntConfig(max_hops=2)
+        frame = attach_tail(make_frame())
+        for hop_id in (1, 2):
+            frame, ok = stamp_hop(frame, cfg, hop_id, 0.0, 1e-6, 0, 0)
+            assert ok
+        over, ok = stamp_hop(frame, cfg, 3, 2e-6, 3e-6, 0, 0)
+        assert not ok
+        assert len(over) == len(frame)  # nothing appended
+        stack = peek_stack(over)
+        assert len(stack) == 2
+        assert stack.truncated
+        assert [h["hop"] for h in stack.hops] == [1, 2]
+
+    def test_byte_budget_bites_mid_stack(self):
+        # Room for exactly one record: the second switch appends nothing
+        # and flags the gap instead.
+        cfg = IntConfig(max_hops=8, byte_budget=HOP_BYTES + 5)
+        frame = attach_tail(make_frame())
+        frame, ok = stamp_hop(frame, cfg, 1, 0.0, 1e-6, 0, 0)
+        assert ok
+        frame, ok = stamp_hop(frame, cfg, 2, 2e-6, 3e-6, 0, 0)
+        assert not ok
+        stack = peek_stack(frame)
+        assert [h["hop"] for h in stack.hops] == [1]
+        assert stack.truncated
+        # still strippable: the bare frame survives intact
+        bare, _ = strip_stack(frame)
+        assert bare == make_frame()
+
+    def test_config_validation(self):
+        with pytest.raises(IntError, match="max_hops"):
+            IntConfig(max_hops=0)
+        with pytest.raises(IntError, match="max_hops"):
+            IntConfig(max_hops=256)
+        with pytest.raises(IntError, match="byte_budget"):
+            IntConfig(byte_budget=-1)
+
+    def test_hop_cap_in_network(self):
+        """A two-switch path with max_hops=1: only the first switch
+        stamps; the collector sees a truncated one-record stack."""
+        from repro.apps.telemetry import TelemetryCluster
+
+        obs = Observability(int_config=IntConfig(max_hops=1))
+        cluster = TelemetryCluster(n_senders=1, slots=8, hh_threshold=99,
+                                   obs=obs)
+        cluster.send_flows(0, [3])
+        stacks = [e for e in obs.tracer.events if e.name == "int:stack"
+                  and e.args["outcome"] == "delivered"]
+        assert stacks
+        for event in stacks:
+            assert len(event.args["hops"]) == 1
+            assert event.args["hops"][0]["node"] == "s1"
+            assert event.args["truncated"] == 1
+
+
+# ---------------------------------------------------------------------------
+# end-to-end stamping on the AllReduce path
+# ---------------------------------------------------------------------------
+
+
+def run_int_allreduce(n_workers: int = 2, data_len: int = 16, window: int = 4):
+    from repro.apps.allreduce import AllReduceJob
+
+    obs = Observability(int_config=IntConfig(max_hops=8))
+    job = AllReduceJob(n_workers, data_len, window, obs=obs)
+    arrays = [[w + 1] * data_len for w in range(n_workers)]
+    results, _ = job.run_round(arrays)
+    assert results[0] == AllReduceJob.expected(arrays)
+    return job, obs
+
+
+@pytest.fixture(scope="module")
+def int_allreduce():
+    return run_int_allreduce()
+
+
+class TestIntAllReduce:
+    def test_delivered_stacks_at_every_worker(self, int_allreduce):
+        _, obs = int_allreduce
+        delivered = [e for e in obs.tracer.events if e.name == "int:stack"
+                     and e.args["outcome"] == "delivered"]
+        # 4 broadcast windows x 2 workers
+        assert len(delivered) == 8
+        for event in delivered:
+            (hop,) = event.args["hops"]
+            assert hop["node"] == "s1"
+            assert hop["egress_ns"] > hop["ingress_ns"]
+            assert "qdepth" in hop
+
+    def test_absorbed_windows_show_switch_drop(self, int_allreduce):
+        _, obs = int_allreduce
+        absorbed = [e for e in obs.tracer.events if e.name == "int:stack"
+                    and e.args["outcome"] == "drop:switch"]
+        # one of the two per-seq uplink windows is aggregated away
+        assert len(absorbed) == 4
+        for event in absorbed:
+            assert event.track == "switch s1"
+            assert event.args["hops"][-1]["flags"] & 0x01  # DROPPED
+
+    def test_int_metrics_in_snapshot(self, int_allreduce):
+        _, obs = int_allreduce
+        snap = obs.snapshot()
+        stacks = sum(s["value"] for s in snap["int.stacks"]["series"])
+        records = sum(s["value"] for s in snap["int.records"]["series"])
+        assert stacks == 8
+        assert records == 8  # single-switch path: one record per stack
+        latency = snap["int.hop_latency_ns"]["series"][0]["value"]
+        assert latency["count"] == 8
+        assert latency["min"] > 0
+
+    def test_int_off_run_has_no_trailers(self):
+        """Observability without an IntConfig must not stamp anything:
+        the trace carries no int:stack events and no INT flags."""
+        from repro.apps.allreduce import AllReduceJob
+
+        obs = Observability()
+        job = AllReduceJob(2, 16, 4, obs=obs)
+        job.run_round([[1] * 16, [2] * 16])
+        assert obs.int_config is None
+        assert not [e for e in obs.tracer.events if e.name == "int:stack"]
+        assert "int.stacks" not in obs.snapshot()
+
+    def test_lineage_json_byte_identical_across_runs(self):
+        """Acceptance: two identical runs -> byte-identical lineage."""
+        blobs = []
+        for _ in range(2):
+            _, obs = run_int_allreduce()
+            index = LineageIndex.from_events(obs.tracer.events)
+            blobs.append(json.dumps(index.to_json(), sort_keys=True))
+        assert blobs[0] == blobs[1]
+
+    def test_explain_prints_full_story(self, int_allreduce):
+        """Acceptance: explain shows emit -> hops -> delivery with
+        per-hop queue depth and timestamps."""
+        _, obs = int_allreduce
+        index = LineageIndex.from_events(obs.tracer.events)
+        text = index.explain("allreduce", 0)
+        assert "emit t=" in text
+        assert "hop s1" in text
+        assert "qdepth=" in text
+        assert "ingress=" in text and "egress=" in text
+        assert "delivered at host" in text
+        assert "aggregated in-network" in text  # the absorbed branch
+
+
+# ---------------------------------------------------------------------------
+# lineage: retransmits and fragments
+# ---------------------------------------------------------------------------
+
+
+PROBE_SRC = (
+    "_net_ unsigned seen[1] = {0};\n"
+    "_net_ _out_ void probe(unsigned *d) { seen[0] += d[0]; }\n"
+)
+
+
+def probe_cluster(mask=(1,), mtu=None):
+    obs = Observability(int_config=IntConfig(max_hops=8))
+    program = Compiler().compile(
+        PROBE_SRC, windows={"probe": WindowConfig(mask=mask)}
+    )
+    cluster = Cluster.from_program(program, obs=obs)
+    if mtu is not None:
+        for host in cluster.hosts.values():
+            host.mtu = mtu
+    return cluster, obs
+
+
+class TestRetransmitLineage:
+    def test_attempts_are_distinct_branches_with_own_hops(self):
+        cluster, obs = probe_cluster()
+        h0 = cluster.host("h0")
+        h0.out("probe", [[7]], dst="h1")
+        cluster.run()
+        window = Window(0, [[7]], ext={}, last=True, from_node=h0.node_id)
+        assert h0.retransmit_window("probe", window, "h1") == 1
+        cluster.run()
+        assert h0.retransmit_window("probe", window, "h1") == 2
+        cluster.run()
+        assert h0.windows_retransmitted == 2
+
+        index = LineageIndex.from_events(obs.tracer.events)
+        lineage = index.window("probe", 0)
+        branch = lineage.branches[h0.node_id]
+        assert sorted(branch.attempts) == [0, 1, 2]
+        sent = []
+        for number in (0, 1, 2):
+            attempt = branch.attempts[number]
+            assert attempt.kind == ("send" if number == 0 else "retransmit")
+            assert attempt.outcome == "delivered"
+            # each attempt carries its own per-hop records
+            assert attempt.stacks and all(
+                s["hops"] for s in attempt.stacks
+            )
+            sent.append(attempt.sent_ts)
+        assert sent == sorted(sent) and len(set(sent)) == 3
+
+    def test_retransmit_trace_events_and_counter(self):
+        cluster, obs = probe_cluster()
+        h0 = cluster.host("h0")
+        h0.out("probe", [[3]], dst="h1")
+        cluster.run()
+        window = Window(0, [[3]], ext={}, last=True, from_node=h0.node_id)
+        h0.retransmit_window("probe", window, "h1")
+        cluster.run()
+        retx = [e for e in obs.tracer.events if e.name == "window:retransmit"]
+        assert len(retx) == 1
+        assert retx[0].args["attempt"] == 1
+        snap = obs.snapshot()
+        events = {
+            (s["labels"]["event"]): s["value"]
+            for s in snap["ncp.windows"]["series"]
+            if s["labels"]["host"] == "h0"
+        }
+        assert events["retransmit"] == 1
+
+
+class TestFragmentInt:
+    def test_each_fragment_collects_its_own_stack(self):
+        # 16 x 32-bit elements = 64 B payload; mtu 80 forces fragments.
+        cluster, obs = probe_cluster(mask=(16,), mtu=80)
+        h0 = cluster.host("h0")
+        h0.out("probe", [list(range(16))], dst="h1")
+        cluster.run()
+        delivered = [e for e in obs.tracer.events if e.name == "int:stack"
+                     and e.args["outcome"] == "delivered"]
+        assert len(delivered) >= 2
+        frags = sorted(e.args["frag"] for e in delivered)
+        assert frags == list(range(len(frags)))  # 0, 1, ...
+        for event in delivered:
+            assert event.args["kernel"] == 1  # FRAG bit masked off
+            assert event.args["hops"]
+        # the window itself still reassembles and arrives once
+        recv = [e for e in obs.tracer.events if e.name == "window:recv"]
+        assert len(recv) == 1
+        inbox = cluster.host("h1").inbox["probe"]
+        assert inbox[0].chunks == [list(range(16))]
+
+
+# ---------------------------------------------------------------------------
+# the query CLI over saved artifacts
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def saved_run(tmp_path_factory):
+    outdir = tmp_path_factory.mktemp("run")
+    _, obs = run_int_allreduce()
+    trace = outdir / "run.trace.jsonl"
+    with open(trace, "w") as fp:
+        obs.tracer.write_jsonl(fp)
+    metrics = outdir / "run.metrics.json"
+    with open(metrics, "w") as fp:
+        json.dump(obs.snapshot(), fp, sort_keys=True)
+    return trace, metrics
+
+
+class TestQueryCli:
+    def run_cli(self, capsys, *argv):
+        from repro.obs.query import main
+
+        rc = main(list(argv))
+        return rc, capsys.readouterr()
+
+    def test_lineage_then_explain(self, saved_run, tmp_path, capsys):
+        trace, _ = saved_run
+        lineage = tmp_path / "run.lineage.json"
+        rc, out = self.run_cli(
+            capsys, "lineage", "--trace", str(trace), "-o", str(lineage)
+        )
+        assert rc == 0
+        assert json.loads(lineage.read_text())["schema"] == "repro.lineage/1"
+        rc, out = self.run_cli(
+            capsys, "explain", "--lineage", str(lineage),
+            "--window", "allreduce:0",
+        )
+        assert rc == 0
+        assert "hop s1" in out.out
+        assert "delivered at host" in out.out
+        assert "qdepth=" in out.out
+
+    def test_explain_accepts_numeric_kernel(self, saved_run, capsys):
+        trace, _ = saved_run
+        rc, out = self.run_cli(
+            capsys, "explain", "--trace", str(trace), "--window", "1:1"
+        )
+        assert rc == 0
+        assert "window allreduce:1" in out.out
+
+    def test_slowest(self, saved_run, capsys):
+        trace, _ = saved_run
+        rc, out = self.run_cli(
+            capsys, "slowest", "--trace", str(trace), "--top", "2"
+        )
+        assert rc == 0
+        lines = [ln for ln in out.out.splitlines() if ln.startswith("allreduce")]
+        assert len(lines) == 2
+        latencies = [float(ln.split()[1].rstrip("us")) for ln in lines]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_drops(self, saved_run, capsys):
+        trace, _ = saved_run
+        rc, out = self.run_cli(capsys, "drops", "--trace", str(trace))
+        assert rc == 0
+        assert "drop:switch" in out.out  # the aggregated uplink windows
+
+    def test_stragglers_with_metrics_threshold(self, saved_run, capsys):
+        trace, metrics = saved_run
+        rc, out = self.run_cli(
+            capsys, "stragglers", "--trace", str(trace),
+            "--metrics", str(metrics), "--percentile", "50",
+        )
+        assert rc == 0
+        assert "threshold" in out.out
+        assert "registry histogram buckets" in out.out
+
+    def test_stragglers_without_metrics(self, saved_run, capsys):
+        trace, _ = saved_run
+        rc, out = self.run_cli(
+            capsys, "stragglers", "--trace", str(trace), "--percentile", "0"
+        )
+        assert rc == 0
+        assert "lineage hop records" in out.out
+
+    def test_unknown_window_fails_cleanly(self, saved_run, capsys):
+        trace, _ = saved_run
+        rc, out = self.run_cli(
+            capsys, "explain", "--trace", str(trace), "--window", "nope:99"
+        )
+        assert rc == 2
+        assert "no lineage" in out.err
+
+    def test_bad_window_spec(self, saved_run, capsys):
+        trace, _ = saved_run
+        rc, out = self.run_cli(
+            capsys, "explain", "--trace", str(trace), "--window", "zork"
+        )
+        assert rc == 2
+        assert "KERNEL:SEQ" in out.err
+
+
+class TestLineageRoundTrip:
+    def test_from_json_round_trips(self):
+        _, obs = run_int_allreduce()
+        index = LineageIndex.from_events(obs.tracer.events)
+        blob = json.dumps(index.to_json(), sort_keys=True)
+        again = LineageIndex.from_json(json.loads(blob))
+        assert json.dumps(again.to_json(), sort_keys=True) == blob
+        # queries work identically on the round-tripped index
+        assert again.explain("allreduce", 0) == index.explain("allreduce", 0)
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(LineageError, match="schema"):
+            LineageIndex.from_json({"schema": "something/else"})
