@@ -1,0 +1,143 @@
+"""Rule-based static analysis over NCL ASTs and NIR (`nclc lint`).
+
+The paper's pitch is that nclc moves in-network programming from
+"trial-and-error against a P4 backend" to a feedback loop with real
+compiler diagnostics. This package is the analysis half of that loop: a
+registry of :class:`Rule` objects, each inspecting the analyzed
+translation unit (AST level) and/or the lowered NIR module, and
+reporting findings into a :class:`repro.diag.DiagnosticSink`.
+
+Layering:
+
+* :mod:`repro.analysis.dataflow` -- reusable slot dataflow (may-uninit,
+  dead stores) over pre-SSA NIR;
+* :mod:`repro.analysis.rules` -- the shipped rule set (shared-state race
+  detector, def-use lints, PISA-resource explanations, ...);
+* :mod:`repro.analysis.linter` -- the ``lint_source`` pipeline gluing
+  frontend error recovery, lenient lowering, conformance checking and
+  the rules together (what ``python -m repro.nclc lint`` runs).
+
+Rules are selected by name (``-W race``/``-W no-dead-store`` on the
+CLI); every finding carries the rule name and a stable ``NCLxxxx`` code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.diag import DiagnosticSink
+from repro.ncl.sema import TranslationUnit
+from repro.nir import ir
+from repro.pisa.arch import ArchProfile, BMV2
+
+
+class AnalysisContext:
+    """Everything a rule may look at.
+
+    ``module`` is ``None`` when lowering produced nothing (e.g. the
+    program had no kernels, or recovery poisoned all of them); rules
+    that need NIR must tolerate that by declaring ``requires_nir``.
+    """
+
+    def __init__(
+        self,
+        unit: TranslationUnit,
+        module: Optional[ir.Module],
+        sink: DiagnosticSink,
+        profile: Optional[ArchProfile] = None,
+        and_spec: object = None,
+    ):
+        self.unit = unit
+        self.module = module
+        self.sink = sink
+        self.profile = profile or BMV2
+        self.and_spec = and_spec
+
+
+class Rule:
+    """One analysis. Subclasses set the metadata and implement ``run``."""
+
+    #: CLI-facing name (``-W <name>`` / ``-W no-<name>``).
+    name: str = "?"
+    #: diagnostic codes this rule may emit (documentation + docs table).
+    codes: Sequence[str] = ()
+    #: one-line description for ``--list-rules`` and the docs.
+    about: str = ""
+    #: the rule inspects NIR and is skipped when no module lowered.
+    requires_nir: bool = False
+
+    def run(self, ctx: AnalysisContext) -> None:
+        raise NotImplementedError
+
+
+#: Registry in definition order -- the order rules run in.
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator adding a rule (one shared instance) to the registry."""
+    instance = cls()
+    if instance.name in _REGISTRY:
+        raise ValueError(f"duplicate analysis rule {instance.name!r}")
+    _REGISTRY[instance.name] = instance
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    return list(_REGISTRY.values())
+
+
+def rule_names() -> List[str]:
+    return list(_REGISTRY)
+
+
+def select_rules(specs: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Resolve ``-W``-style selection specs to an ordered rule list.
+
+    * no specs: every registered rule;
+    * positive names (``race``): run exactly the listed rules;
+    * ``no-<name>``: remove a rule from the selection (combines with
+      either of the above).
+
+    Unknown names raise ``ValueError`` (the CLI turns that into exit 2).
+    """
+    positives: List[str] = []
+    negatives: List[str] = []
+    for spec in specs or []:
+        target = negatives if spec.startswith("no-") else positives
+        target.append(spec[3:] if spec.startswith("no-") else spec)
+    for name in positives + negatives:
+        if name != "all" and name not in _REGISTRY:
+            known = ", ".join(_REGISTRY)
+            raise ValueError(f"unknown analysis rule {name!r} (known: {known})")
+    if positives and "all" not in positives:
+        enabled = [n for n in _REGISTRY if n in positives]
+    else:
+        enabled = list(_REGISTRY)
+    return [_REGISTRY[n] for n in enabled if n not in negatives]
+
+
+def run_rules(ctx: AnalysisContext, rules: Optional[Sequence[Rule]] = None) -> None:
+    """Run *rules* (default: all) over the context, in registry order."""
+    for rule in select_rules() if rules is None else rules:
+        if rule.requires_nir and ctx.module is None:
+            continue
+        rule.run(ctx)
+
+
+# Import for side effect: populates the registry. Kept at the bottom so
+# rules.py can import the framework names above from this module.
+from repro.analysis import rules as _rules  # noqa: E402,F401
+from repro.analysis.linter import LintResult, lint_source  # noqa: E402
+
+__all__ = [
+    "AnalysisContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_names",
+    "select_rules",
+    "run_rules",
+    "LintResult",
+    "lint_source",
+]

@@ -1,0 +1,116 @@
+"""Slot dataflow over pre-SSA NIR (def-use analyses for the linter).
+
+Both analyses work on freshly lowered functions, *before* mem2reg: every
+NCL local is still an :class:`repro.nir.ir.Alloca` slot, reads are
+``Load`` and writes are ``Store``. The lowerer marks an uninitialized
+declaration with ``Store(slot, Undef)``, which is exactly the gen-point
+the may-uninitialized analysis needs.
+
+* :func:`may_uninit_reads` -- forward may-analysis: which ``Load``s can
+  observe a slot that was declared but never assigned on some path.
+* :func:`dead_stores` -- backward liveness: which ``Store``s are
+  overwritten (or fall off the function) before any ``Load`` sees them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.nir import ir
+
+
+def _block_order(fn: ir.Function) -> List[ir.Block]:
+    return list(fn.blocks)
+
+
+def may_uninit_reads(fn: ir.Function) -> List[Tuple[str, ir.Load]]:
+    """``(slot_name, load)`` for every load that may read an
+    uninitialized slot on at least one path from the entry."""
+    blocks = _block_order(fn)
+    preds = fn.predecessors()
+    # in/out: set of slots that MAY hold their declaration-time Undef.
+    in_sets: Dict[ir.Block, Set[ir.Alloca]] = {b: set() for b in blocks}
+    out_sets: Dict[ir.Block, Set[ir.Alloca]] = {b: set() for b in blocks}
+
+    def transfer(block: ir.Block, live_undef: Set[ir.Alloca]) -> Set[ir.Alloca]:
+        state = set(live_undef)
+        for instr in block.instrs:
+            if isinstance(instr, ir.Store):
+                if isinstance(instr.value, ir.Undef):
+                    state.add(instr.slot)
+                else:
+                    state.discard(instr.slot)
+        return state
+
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            in_set = set()
+            for pred in preds[block]:
+                in_set |= out_sets[pred]
+            out_set = transfer(block, in_set)
+            if in_set != in_sets[block] or out_set != out_sets[block]:
+                in_sets[block], out_sets[block] = in_set, out_set
+                changed = True
+
+    findings: List[Tuple[str, ir.Load]] = []
+    for block in blocks:
+        state = set(in_sets[block])
+        for instr in block.instrs:
+            if isinstance(instr, ir.Load) and instr.slot in state:
+                findings.append((instr.slot.name, instr))
+            elif isinstance(instr, ir.Store):
+                if isinstance(instr.value, ir.Undef):
+                    state.add(instr.slot)
+                else:
+                    state.discard(instr.slot)
+    return findings
+
+
+def dead_stores(fn: ir.Function) -> List[Tuple[str, ir.Store]]:
+    """``(slot_name, store)`` for every store whose value no load can
+    observe (overwritten first, or the slot is never read at all).
+
+    Declaration markers (``Store(slot, Undef)``) are not reported -- the
+    uninitialized-read analysis owns those.
+    """
+    blocks = _block_order(fn)
+    succs = {b: b.successors() for b in blocks}
+    # live-in/live-out: slots whose current value may still be loaded.
+    live_in: Dict[ir.Block, Set[ir.Alloca]] = {b: set() for b in blocks}
+    live_out: Dict[ir.Block, Set[ir.Alloca]] = {b: set() for b in blocks}
+
+    def transfer(block: ir.Block, live: Set[ir.Alloca]) -> Set[ir.Alloca]:
+        state = set(live)
+        for instr in reversed(block.instrs):
+            if isinstance(instr, ir.Store):
+                state.discard(instr.slot)
+            elif isinstance(instr, ir.Load):
+                state.add(instr.slot)
+        return state
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            out_set = set()
+            for succ in succs[block]:
+                out_set |= live_in[succ]
+            in_set = transfer(block, out_set)
+            if out_set != live_out[block] or in_set != live_in[block]:
+                live_out[block], live_in[block] = out_set, in_set
+                changed = True
+
+    findings: List[Tuple[str, ir.Store]] = []
+    for block in blocks:
+        state = set(live_out[block])
+        for instr in reversed(block.instrs):
+            if isinstance(instr, ir.Store):
+                if instr.slot not in state and not isinstance(instr.value, ir.Undef):
+                    findings.append((instr.slot.name, instr))
+                state.discard(instr.slot)
+            elif isinstance(instr, ir.Load):
+                state.add(instr.slot)
+    findings.sort(key=lambda f: f[1].id)
+    return findings

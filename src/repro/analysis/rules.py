@@ -1,0 +1,745 @@
+"""The shipped `nclc lint` rule set.
+
+Every rule reports through the shared :class:`repro.diag.DiagnosticSink`
+with a stable code; the catalog lives in ``docs/DIAGNOSTICS.md``. Codes:
+
+======== ===================== =========================================
+code     rule                  finding
+======== ===================== =========================================
+NCL0701  race                  unserialized shared-state access
+NCL0702  uninit-read           variable may be read before assignment
+NCL0703  dead-store            stored value is never read
+NCL0704  unreachable-code      statement can never execute
+NCL0705  unbounded-loop        kernel loop cannot unroll to PISA
+NCL0801  width-truncation      implicit narrowing conversion
+NCL0802  overflow              shift amount out of range
+NCL0803  overflow              constant arithmetic overflows its type
+NCL0901  unused-kernel         _out_ kernel never launched via ncl::out
+NCL0902  unused-kernel         _in_ kernel never registered via ncl::in
+NCL0903  unused-window-field   window extension field never read
+NCL0610  pisa-resources        general multiply unavailable on target
+NCL0611  pisa-resources        register-array access budget exceeded
+NCL0612  pisa-resources        PHV bit budget exceeded
+NCL0613  pisa-resources        pipeline stage budget exceeded
+NCL0614  pisa-resources        match-action table budget exceeded
+======== ===================== =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis import AnalysisContext, Rule, register
+from repro.analysis.dataflow import dead_stores, may_uninit_reads
+from repro.diag import Span
+from repro.ncl import ast
+from repro.ncl.parser import const_eval
+from repro.ncl.sema import TranslationUnit
+from repro.ncl.types import is_signed, scalar_bits
+from repro.nir import ir
+
+#: host runtime calls that WRITE switch-resident state from the control plane
+_HOST_WRITE_CALLS = ("ncl::ctrl_wr", "ncl::map_insert", "ncl::map_erase")
+
+_SPACE_WORD = {
+    "net": "switch memory",
+    "ctrl": "control variable",
+    "map": "Map",
+    "bloom": "BloomFilter",
+}
+
+
+def _bits(ty) -> Optional[int]:
+    try:
+        return scalar_bits(ty)
+    except Exception:
+        return None
+
+
+def _gvar_decl(unit: TranslationUnit, name: str) -> Optional[ast.GlobalVar]:
+    for table in (unit.net_globals, unit.ctrl_vars, unit.maps, unit.blooms):
+        if name in table:
+            return table[name]
+    return None
+
+
+def _host_functions(unit: TranslationUnit) -> List[ast.FuncDecl]:
+    """Host (non-kernel) functions with bodies, in declaration order.
+
+    ``unit.functions`` also holds switch-side helper functions; a helper
+    is any function reachable from a kernel, which the callers of this
+    function do not need to distinguish -- helpers cannot contain
+    ``ncl::`` runtime calls anyway (sema rejects them).
+    """
+    return [d for d in unit.functions.values() if d.body is not None]
+
+
+class _StateAccess:
+    """One touch of a switch-resident symbol, attributed to a party."""
+
+    __slots__ = ("party", "party_desc", "label", "is_write", "loc")
+
+    def __init__(self, party, party_desc, label, is_write, loc):
+        self.party = party  # kernel name, or "<host>"
+        self.party_desc = party_desc
+        self.label = label  # the accessing kernel's _at_ label (None = all)
+        self.is_write = is_write
+        self.loc = loc
+
+
+def _instr_accesses(instr: ir.Instr) -> List[Tuple[ir.GlobalRef, bool]]:
+    """(ref, is_write) pairs for one instruction."""
+    out: List[Tuple[ir.GlobalRef, bool]] = []
+    if isinstance(instr, ir.LoadElem):
+        out.append((instr.ref, False))
+    elif isinstance(instr, ir.StoreElem):
+        out.append((instr.ref, True))
+    elif isinstance(instr, ir.CtrlRead):
+        out.append((instr.ref, False))
+    elif isinstance(instr, ir.MapLookup):
+        out.append((instr.ref, False))
+    elif isinstance(instr, ir.BloomOp):
+        out.append((instr.ref, instr.op == "insert"))
+    elif isinstance(instr, ir.Memcpy):
+        if instr.src.ref is not None:
+            out.append((instr.src.ref, False))
+        if instr.dst.ref is not None:
+            out.append((instr.dst.ref, True))
+    return [(ref, w) for ref, w in out if ref.space in _SPACE_WORD]
+
+
+def _callees(fn: ir.Function) -> Set[str]:
+    return {
+        i.callee.name for i in fn.instructions() if isinstance(i, ir.CallFn)
+    }
+
+
+@register
+class SharedStateRaceRule(Rule):
+    """The shared-state race detector (the tentpole analysis).
+
+    A symbol races when at least two parties (distinct kernels, or a
+    kernel plus the host control plane) touch it, at least one touch is
+    a write, and nothing serializes them onto a single switch: the
+    symbol must carry an ``_at_`` pin and every accessing kernel must be
+    unpinned (versioning then confines its access to the symbol's
+    switch) or pinned to the *same* label. Host control-plane writes to
+    a pinned symbol are serialized by the runtime.
+    """
+
+    name = "race"
+    codes = ("NCL0701",)
+    about = "shared switch state written concurrently without _at_ serialization"
+    requires_nir = True
+
+    def run(self, ctx: AnalysisContext) -> None:
+        assert ctx.module is not None
+        accesses: Dict[str, List[_StateAccess]] = {}
+
+        # Kernel-side accesses from NIR, with helper accesses attributed
+        # to every kernel that (transitively) calls the helper.
+        direct: Dict[str, List[Tuple[ir.GlobalRef, bool, object]]] = {}
+        for fn in ctx.module.functions.values():
+            sites = []
+            for instr in fn.instructions():
+                for ref, is_write in _instr_accesses(instr):
+                    sites.append((ref, is_write, instr.loc))
+            direct[fn.name] = sites
+        callgraph = {
+            fn.name: _callees(fn) for fn in ctx.module.functions.values()
+        }
+        for fn in ctx.module.kernels():
+            reachable = [fn.name]
+            frontier = list(callgraph.get(fn.name, ()))
+            while frontier:
+                callee = frontier.pop()
+                if callee in reachable:
+                    continue
+                reachable.append(callee)
+                frontier.extend(callgraph.get(callee, ()))
+            desc = f"kernel '{fn.name}'"
+            for owner in reachable:
+                for ref, is_write, loc in direct.get(owner, ()):
+                    accesses.setdefault(ref.name, []).append(
+                        _StateAccess(fn.name, desc, fn.at_label, is_write, loc)
+                    )
+
+        # Host-side control-plane writes from the AST.
+        for decl in _host_functions(ctx.unit):
+            if decl.is_kernel:
+                continue
+            for node in decl.body.walk():
+                if not (isinstance(node, ast.Call) and node.name in _HOST_WRITE_CALLS):
+                    continue
+                target = node.args[0] if node.args else None
+                if isinstance(target, ast.Unary) and target.op == "&":
+                    target = target.operand
+                if not isinstance(target, ast.Ident):
+                    continue
+                if target.name not in ctx.module.globals:
+                    continue
+                accesses.setdefault(target.name, []).append(
+                    _StateAccess(
+                        "<host>", "the host control plane", None, True, target.loc
+                    )
+                )
+
+        for name, ref in ctx.module.globals.items():
+            if ref.space not in _SPACE_WORD:
+                continue
+            touches = accesses.get(name, [])
+            writes = [a for a in touches if a.is_write]
+            parties = {a.party for a in touches}
+            if not writes or len(parties) < 2:
+                continue
+            kernel_labels = {a.label for a in touches if a.party != "<host>"}
+            serialized = ref.at_label is not None and all(
+                label in (None, ref.at_label) for label in kernel_labels
+            )
+            if serialized:
+                continue
+            self._report(ctx, name, ref, touches, writes)
+
+    def _report(self, ctx, name, ref, touches, writes) -> None:
+        primary = next((w for w in writes if w.loc is not None), writes[0])
+        other = next(
+            (
+                a
+                for a in touches
+                if a.party != primary.party and a.loc is not None
+            ),
+            None,
+        )
+        party_descs = sorted({a.party_desc for a in touches})
+        what = _SPACE_WORD[ref.space]
+        message = (
+            f"possible race on {what} '{name}': accessed by "
+            f"{' and '.join(party_descs)} with at least one write and no "
+            "single-switch _at_ serialization"
+        )
+        secondary = []
+        if other is not None:
+            verb = "written" if other.is_write else "read"
+            secondary.append(
+                Span(other.loc, len(name), f"{verb} by {other.party_desc}")
+            )
+        loc = primary.loc
+        if loc is None:
+            decl = _gvar_decl(ctx.unit, name)
+            loc = decl.loc if decl is not None else None
+        ctx.sink.warning(
+            "NCL0701",
+            message,
+            loc,
+            length=len(name),
+            secondary=secondary,
+            notes=[
+                f"written by {primary.party_desc} here",
+            ],
+            fixit=(
+                f"pin '{name}' and every kernel that touches it to one "
+                'switch with _at_("...") to serialize access'
+            ),
+            rule=self.name,
+        )
+
+
+@register
+class UninitReadRule(Rule):
+    name = "uninit-read"
+    codes = ("NCL0702",)
+    about = "local variable may be read before it is assigned"
+    requires_nir = True
+
+    def run(self, ctx: AnalysisContext) -> None:
+        assert ctx.module is not None
+        for fn in ctx.module.functions.values():
+            seen = set()
+            for slot_name, load in may_uninit_reads(fn):
+                key = (slot_name, load.loc)
+                if load.loc is None or key in seen:
+                    continue
+                seen.add(key)
+                ctx.sink.warning(
+                    "NCL0702",
+                    f"'{slot_name}' may be read before it is assigned "
+                    f"in '{fn.name}'",
+                    load.loc,
+                    length=len(slot_name),
+                    fixit=f"initialize '{slot_name}' at its declaration",
+                    rule=self.name,
+                )
+
+
+@register
+class DeadStoreRule(Rule):
+    name = "dead-store"
+    codes = ("NCL0703",)
+    about = "a stored value is overwritten or discarded before any read"
+    requires_nir = True
+
+    def run(self, ctx: AnalysisContext) -> None:
+        assert ctx.module is not None
+        for fn in ctx.module.functions.values():
+            seen = set()
+            for slot_name, store in dead_stores(fn):
+                key = (slot_name, store.loc)
+                if store.loc is None or key in seen:
+                    continue
+                seen.add(key)
+                ctx.sink.warning(
+                    "NCL0703",
+                    f"value stored to '{slot_name}' is never read",
+                    store.loc,
+                    length=len(slot_name),
+                    rule=self.name,
+                )
+
+
+def _stmt_terminates(stmt: ast.Stmt) -> bool:
+    """Conservatively: does control definitely not fall out of *stmt*?"""
+    if isinstance(stmt, (ast.Return, ast.Break, ast.Continue)):
+        return True
+    if isinstance(stmt, ast.Block):
+        return any(_stmt_terminates(s) for s in stmt.stmts)
+    if isinstance(stmt, ast.If):
+        return (
+            stmt.orelse is not None
+            and _stmt_terminates(stmt.then)
+            and _stmt_terminates(stmt.orelse)
+        )
+    return False
+
+
+@register
+class UnreachableCodeRule(Rule):
+    """AST-level, because the lowerer prunes dead blocks before any NIR
+    analysis could see them."""
+
+    name = "unreachable-code"
+    codes = ("NCL0704",)
+    about = "statements that no control path reaches"
+
+    def run(self, ctx: AnalysisContext) -> None:
+        for decl in ctx.unit.program.functions:
+            if decl.body is None:
+                continue
+            for node in decl.body.walk():
+                if not isinstance(node, ast.Block):
+                    continue
+                for i, stmt in enumerate(node.stmts[:-1]):
+                    if _stmt_terminates(stmt):
+                        after = node.stmts[i + 1]
+                        ctx.sink.warning(
+                            "NCL0704",
+                            f"unreachable code in '{decl.name}'",
+                            after.loc,
+                            secondary=[
+                                Span(stmt.loc, 1, "control leaves the block here")
+                            ],
+                            rule=self.name,
+                        )
+                        break
+
+
+def _loop_breaks_out(stmt: ast.Node) -> bool:
+    """Does this loop-body subtree leave the *enclosing* loop?"""
+    if isinstance(stmt, (ast.Break, ast.Return)):
+        return True
+    if isinstance(stmt, (ast.While, ast.For)):
+        return False  # its breaks bind to the nested loop
+    return any(_loop_breaks_out(child) for child in stmt.children())
+
+
+def _kernel_side_decls(unit: TranslationUnit) -> List[ast.FuncDecl]:
+    """Kernels plus every helper transitively called from one."""
+    decls = [info.decl for info in unit.kernels.values()]
+    reachable: Set[str] = set()
+    frontier: List[str] = []
+    for decl in decls:
+        for node in decl.body.walk() if decl.body else ():
+            if isinstance(node, ast.Call) and node.name in unit.functions:
+                frontier.append(node.name)
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        helper = unit.functions.get(name)
+        if helper is None or helper.body is None:
+            continue
+        reachable.add(name)
+        for node in helper.body.walk():
+            if isinstance(node, ast.Call) and node.name in unit.functions:
+                frontier.append(node.name)
+    decls.extend(unit.functions[n] for n in unit.functions if n in reachable)
+    return decls
+
+
+@register
+class UnboundedLoopRule(Rule):
+    name = "unbounded-loop"
+    codes = ("NCL0705",)
+    about = "kernel loop with no bounded trip count (cannot unroll)"
+
+    def run(self, ctx: AnalysisContext) -> None:
+        for decl in _kernel_side_decls(ctx.unit):
+            if decl.body is None:
+                continue
+            for node in decl.body.walk():
+                if isinstance(node, ast.While):
+                    cond, body = node.cond, node.body
+                elif isinstance(node, ast.For):
+                    cond, body = node.cond, node.body
+                else:
+                    continue
+                if cond is None:
+                    infinite = True
+                else:
+                    value = const_eval(cond)
+                    infinite = value is not None and value != 0
+                if infinite and not _loop_breaks_out(body):
+                    ctx.sink.warning(
+                        "NCL0705",
+                        f"loop in '{decl.name}' never terminates and cannot "
+                        "be unrolled for the PISA pipeline",
+                        node.loc,
+                        notes=[
+                            "switch-side loops are fully unrolled at compile "
+                            "time and need a bounded trip count"
+                        ],
+                        rule=self.name,
+                    )
+
+
+@register
+class WidthTruncationRule(Rule):
+    name = "width-truncation"
+    codes = ("NCL0801",)
+    about = "implicit conversion to a narrower integer"
+    requires_nir = True
+
+    def run(self, ctx: AnalysisContext) -> None:
+        assert ctx.module is not None
+        for fn in ctx.module.functions.values():
+            seen = set()
+            for instr in fn.instructions():
+                if not (
+                    isinstance(instr, ir.Cast)
+                    and instr.kind == "trunc"
+                    and not instr.explicit
+                    and instr.loc is not None
+                ):
+                    continue
+                from_bits = _bits(instr.operands[0].ty)
+                to_bits = _bits(instr.ty)
+                if from_bits is None or to_bits is None:
+                    continue
+                key = (instr.loc, from_bits, to_bits)
+                if key in seen:
+                    continue
+                seen.add(key)
+                ctx.sink.warning(
+                    "NCL0801",
+                    f"implicit truncation from {from_bits}-bit to "
+                    f"{to_bits}-bit value may lose data",
+                    instr.loc,
+                    fixit="write an explicit cast if the narrowing is intended",
+                    rule=self.name,
+                )
+
+
+@register
+class OverflowRule(Rule):
+    name = "overflow"
+    codes = ("NCL0802", "NCL0803")
+    about = "shift out of range / constant arithmetic overflow"
+    requires_nir = True
+
+    _EXACT = {
+        "add": lambda a, b: a + b,
+        "sub": lambda a, b: a - b,
+        "mul": lambda a, b: a * b,
+    }
+
+    def run(self, ctx: AnalysisContext) -> None:
+        assert ctx.module is not None
+        for fn in ctx.module.functions.values():
+            for instr in fn.instructions():
+                if not isinstance(instr, ir.BinOp) or instr.loc is None:
+                    continue
+                bits = _bits(instr.ty)
+                if bits is None:
+                    continue
+                if instr.op in ("shl", "lshr", "ashr") and isinstance(
+                    instr.rhs, ir.Const
+                ):
+                    amount = instr.rhs.value
+                    if amount < 0 or amount >= bits:
+                        ctx.sink.warning(
+                            "NCL0802",
+                            f"shift amount {amount} is out of range for a "
+                            f"{bits}-bit value",
+                            instr.loc,
+                            rule=self.name,
+                        )
+                elif (
+                    instr.op in self._EXACT
+                    and isinstance(instr.lhs, ir.Const)
+                    and isinstance(instr.rhs, ir.Const)
+                ):
+                    exact = self._EXACT[instr.op](
+                        instr.lhs.value, instr.rhs.value
+                    )
+                    signed = is_signed(instr.ty)
+                    lo = -(1 << (bits - 1)) if signed else 0
+                    hi = (1 << (bits - 1)) - 1 if signed else (1 << bits) - 1
+                    if not (lo <= exact <= hi):
+                        kind = "signed" if signed else "unsigned"
+                        ctx.sink.warning(
+                            "NCL0803",
+                            f"constant expression evaluates to {exact}, which "
+                            f"overflows {bits}-bit {kind} arithmetic",
+                            instr.loc,
+                            rule=self.name,
+                        )
+
+
+@register
+class UnusedKernelRule(Rule):
+    """Only meaningful when the program ships its own host driver code;
+    examples driven from Python (no host functions) stay silent."""
+
+    name = "unused-kernel"
+    codes = ("NCL0901", "NCL0902")
+    about = "kernel defined but never launched/registered by host code"
+
+    def run(self, ctx: AnalysisContext) -> None:
+        hosts = [d for d in _host_functions(ctx.unit) if not d.is_kernel]
+        if not hosts:
+            return
+        used_out: Set[str] = set()
+        used_in: Set[str] = set()
+        for decl in hosts:
+            for node in decl.body.walk():
+                if not isinstance(node, ast.Call):
+                    continue
+                if node.name not in ("ncl::out", "ncl::in") or not node.args:
+                    continue
+                target = node.args[0]
+                if isinstance(target, ast.Ident):
+                    (used_out if node.name == "ncl::out" else used_in).add(
+                        target.name
+                    )
+        for name, info in ctx.unit.out_kernels.items():
+            if name not in used_out:
+                ctx.sink.warning(
+                    "NCL0901",
+                    f"outgoing kernel '{name}' is defined but never "
+                    "launched with ncl::out",
+                    info.decl.loc,
+                    length=len(name),
+                    rule=self.name,
+                )
+        for name, info in ctx.unit.in_kernels.items():
+            if name not in used_in:
+                ctx.sink.warning(
+                    "NCL0902",
+                    f"incoming kernel '{name}' is defined but never "
+                    "registered with ncl::in",
+                    info.decl.loc,
+                    length=len(name),
+                    rule=self.name,
+                )
+
+
+@register
+class UnusedWindowFieldRule(Rule):
+    name = "unused-window-field"
+    codes = ("NCL0903",)
+    about = "window extension field that no kernel reads"
+
+    def run(self, ctx: AnalysisContext) -> None:
+        ext = ctx.unit.program.window_ext
+        user_fields = ctx.unit.window_fields[3:]  # skip seq/from/last builtins
+        if ext is None or not user_fields:
+            return
+        read: Set[str] = set()
+        for decl in ctx.unit.program.functions:
+            if decl.body is None:
+                continue
+            for node in decl.body.walk():
+                if (
+                    isinstance(node, ast.Member)
+                    and isinstance(node.base, ast.Ident)
+                    and node.base.name == "window"
+                ):
+                    read.add(node.field)
+        for fname, _fty in user_fields:
+            if fname not in read:
+                ctx.sink.warning(
+                    "NCL0903",
+                    f"window extension field '{fname}' is never read by "
+                    "any kernel",
+                    ext.loc,
+                    notes=[
+                        "the field still travels in every NCP window header; "
+                        "remove it to save PHV bits and wire bytes"
+                    ],
+                    rule=self.name,
+                )
+
+
+def _longest_block_path(fn: ir.Function) -> int:
+    """Blocks on the longest acyclic entry path (a stage-count proxy)."""
+    depth: Dict[ir.Block, int] = {}
+    on_path: Set[ir.Block] = set()
+
+    def visit(block: ir.Block) -> int:
+        if block in depth:
+            return depth[block]
+        if block in on_path:
+            return 0  # back edge: loops are unrolled later, ignore here
+        on_path.add(block)
+        best = 0
+        for succ in block.successors():
+            best = max(best, visit(succ))
+        on_path.discard(block)
+        depth[block] = 1 + best
+        return depth[block]
+
+    return visit(fn.entry) if fn.blocks else 0
+
+
+@register
+class PisaResourceRule(Rule):
+    """Early, explained versions of the backend's accept/reject budgets.
+
+    Estimates are made on pre-unroll NIR, so they are lower bounds; the
+    P4 backend remains authoritative. The point (paper S5/S6) is telling
+    the programmer *which construct* spends the budget instead of a late
+    opaque rejection.
+    """
+
+    name = "pisa-resources"
+    codes = ("NCL0610", "NCL0611", "NCL0612", "NCL0613", "NCL0614")
+    about = "stage/table/PHV/register budget estimates vs the chip profile"
+    requires_nir = True
+
+    def run(self, ctx: AnalysisContext) -> None:
+        assert ctx.module is not None
+        profile = ctx.profile
+        header_bits = sum(
+            b for _, ty in ctx.module.window_fields if (b := _bits(ty))
+        )
+        for fn in ctx.module.kernels(ir.FunctionKind.OUT_KERNEL):
+            decl_loc = None
+            info = ctx.unit.out_kernels.get(fn.name)
+            if info is not None:
+                decl_loc = info.decl.loc
+            self._check_mul(ctx, fn, profile)
+            self._check_register_accesses(ctx, fn, profile)
+            self._check_phv(ctx, fn, profile, header_bits, decl_loc)
+            self._check_stages_tables(ctx, fn, profile, decl_loc)
+
+    def _check_mul(self, ctx, fn, profile) -> None:
+        if profile.supports_mul:
+            return
+        for instr in fn.instructions():
+            if not (isinstance(instr, ir.BinOp) and instr.op == "mul"):
+                continue
+            if any(
+                isinstance(op, ir.Const)
+                and op.value > 0
+                and op.value & (op.value - 1) == 0
+                for op in instr.operands
+            ):
+                continue  # strength-reduces to a shift
+            ctx.sink.warning(
+                "NCL0610",
+                f"kernel '{fn.name}' multiplies two non-constant values; "
+                f"the '{profile.name}' ALU has no general multiply",
+                instr.loc,
+                notes=[
+                    "multiplication by a power-of-two constant is fine "
+                    "(it strength-reduces to a shift)"
+                ],
+                rule=self.name,
+            )
+
+    def _check_register_accesses(self, ctx, fn, profile) -> None:
+        counts: Dict[str, int] = {}
+        first_loc: Dict[str, object] = {}
+        for instr in fn.instructions():
+            for ref, _w in _instr_accesses(instr):
+                if ref.space != "net":
+                    continue
+                counts[ref.name] = counts.get(ref.name, 0) + 1
+                if ref.name not in first_loc and instr.loc is not None:
+                    first_loc[ref.name] = instr.loc
+        for name, count in counts.items():
+            if count <= profile.max_register_accesses_per_array:
+                continue
+            ctx.sink.warning(
+                "NCL0611",
+                f"kernel '{fn.name}' makes {count} accesses per window to "
+                f"register array '{name}'; profile '{profile.name}' allows "
+                f"{profile.max_register_accesses_per_array}",
+                first_loc.get(name),
+                length=len(name),
+                notes=[
+                    "the register-splitting transformation can divide some "
+                    "arrays across stages; otherwise restructure the kernel "
+                    "to a single read-modify-write per array"
+                ],
+                rule=self.name,
+            )
+
+    def _check_phv(self, ctx, fn, profile, header_bits, decl_loc) -> None:
+        data_bits = 0
+        for param in fn.params:
+            pointee = (
+                param.ty.pointee
+                if hasattr(param.ty, "pointee") and param.ty.is_pointer
+                else param.ty
+            )
+            data_bits += _bits(pointee) or 0
+        est = header_bits + data_bits
+        if est > profile.phv_bits:
+            ctx.sink.warning(
+                "NCL0612",
+                f"window for kernel '{fn.name}' needs an estimated {est} "
+                f"PHV bits (header {header_bits} + data {data_bits}); "
+                f"profile '{profile.name}' provides {profile.phv_bits}",
+                decl_loc,
+                length=len(fn.name),
+                rule=self.name,
+            )
+
+    def _check_stages_tables(self, ctx, fn, profile, decl_loc) -> None:
+        est_stages = _longest_block_path(fn)
+        est_tables = sum(
+            1
+            for i in fn.instructions()
+            if i.has_side_effects and not isinstance(i, (ir.Br, ir.Ret))
+        )
+        if est_stages > profile.max_stages:
+            ctx.sink.warning(
+                "NCL0613",
+                f"kernel '{fn.name}' spans an estimated {est_stages} pipeline "
+                f"stages before unrolling; profile '{profile.name}' has "
+                f"{profile.max_stages}",
+                decl_loc,
+                length=len(fn.name),
+                notes=["loop unrolling multiplies this estimate further"],
+                rule=self.name,
+            )
+        if est_tables > profile.max_tables:
+            ctx.sink.warning(
+                "NCL0614",
+                f"kernel '{fn.name}' lowers to an estimated {est_tables} "
+                f"table applications; profile '{profile.name}' allows "
+                f"{profile.max_tables}",
+                decl_loc,
+                length=len(fn.name),
+                rule=self.name,
+            )

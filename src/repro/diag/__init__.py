@@ -1,0 +1,202 @@
+"""Structured compiler diagnostics (the `repro.diag` engine).
+
+The paper's central usability claim is that nclc *tells the programmer
+why* a program cannot run on the switch. This package is the substrate
+for that feedback loop: every front-end error, conformance violation and
+static-analysis finding is a :class:`Diagnostic` -- severity, stable
+code (``NCL0412``), primary + secondary source spans, notes and an
+optional fix-it -- collected in a :class:`DiagnosticSink` instead of
+aborting at the first failure.
+
+Renderers live next door:
+
+* :mod:`repro.diag.render` -- human-readable text with caret/underline
+  source excerpts (``error[NCL0404]: ... --> file:4:9``);
+* :mod:`repro.diag.export` -- a deterministic, schema-stable JSON form
+  (SARIF-lite) for tooling and golden tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import NclError, SourceLocation
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons mean "at least"."""
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+class Span:
+    """A source region: a location plus a length (in columns) and an
+    optional label rendered next to the underline."""
+
+    __slots__ = ("loc", "length", "label")
+
+    def __init__(self, loc: SourceLocation, length: int = 1, label: Optional[str] = None):
+        self.loc = loc
+        self.length = max(1, int(length))
+        self.label = label
+
+    @property
+    def filename(self) -> str:
+        return self.loc.filename
+
+    @property
+    def line(self) -> int:
+        return self.loc.line
+
+    @property
+    def column(self) -> int:
+        return self.loc.column
+
+    def __repr__(self) -> str:
+        return f"Span({self.loc!r}+{self.length})"
+
+
+class Diagnostic:
+    """One finding. Immutable-ish data holder; renderers do the work."""
+
+    def __init__(
+        self,
+        severity: Severity,
+        code: str,
+        message: str,
+        primary: Optional[Span] = None,
+        secondary: Optional[Sequence[Span]] = None,
+        notes: Optional[Sequence[str]] = None,
+        fixit: Optional[str] = None,
+        rule: Optional[str] = None,
+    ):
+        self.severity = severity
+        self.code = code
+        self.message = message
+        self.primary = primary
+        self.secondary: List[Span] = list(secondary or [])
+        self.notes: List[str] = list(notes or [])
+        self.fixit = fixit
+        #: analysis rule name for findings from :mod:`repro.analysis`
+        self.rule = rule
+
+    def sort_key(self) -> Tuple:
+        if self.primary is not None:
+            where = (self.primary.filename, self.primary.line, self.primary.column)
+        else:
+            where = ("", 0, 0)
+        return (*where, -int(self.severity), self.code, self.message)
+
+    def __repr__(self) -> str:
+        where = f" at {self.primary.loc!r}" if self.primary else ""
+        return f"Diagnostic({self.severity.label}[{self.code}]{where}: {self.message!r})"
+
+
+def diagnostic_from_error(exc: NclError, rule: Optional[str] = None) -> Diagnostic:
+    """Convert a raised front-end error into a structured diagnostic."""
+    code = getattr(exc, "code", None) or getattr(type(exc), "default_code", "NCL0001")
+    length = getattr(exc, "length", 1) or 1
+    primary = Span(exc.loc, length) if exc.loc is not None else None
+    return Diagnostic(Severity.ERROR, code, exc.message, primary=primary, rule=rule)
+
+
+class DiagnosticSink:
+    """Collects diagnostics; the error-recovery analogue of ``raise``.
+
+    Passing a sink into the front end / conformance checker / analysis
+    framework switches them from fail-fast to collect-everything mode.
+    """
+
+    def __init__(self):
+        self.diagnostics: List[Diagnostic] = []
+
+    # -- emission ------------------------------------------------------
+
+    def add(self, diag: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diag)
+        return diag
+
+    def report(
+        self,
+        severity: Severity,
+        code: str,
+        message: str,
+        loc: Optional[SourceLocation] = None,
+        length: int = 1,
+        secondary: Optional[Sequence[Span]] = None,
+        notes: Optional[Sequence[str]] = None,
+        fixit: Optional[str] = None,
+        rule: Optional[str] = None,
+    ) -> Diagnostic:
+        primary = Span(loc, length) if loc is not None else None
+        return self.add(
+            Diagnostic(
+                severity, code, message, primary=primary,
+                secondary=secondary, notes=notes, fixit=fixit, rule=rule,
+            )
+        )
+
+    def error(self, code: str, message: str, loc=None, **kw) -> Diagnostic:
+        return self.report(Severity.ERROR, code, message, loc, **kw)
+
+    def warning(self, code: str, message: str, loc=None, **kw) -> Diagnostic:
+        return self.report(Severity.WARNING, code, message, loc, **kw)
+
+    def note(self, code: str, message: str, loc=None, **kw) -> Diagnostic:
+        return self.report(Severity.NOTE, code, message, loc, **kw)
+
+    # -- inspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def has_warnings(self) -> bool:
+        return any(d.severity is Severity.WARNING for d in self.diagnostics)
+
+    def sorted(self) -> List[Diagnostic]:
+        """Source order (file, line, column), errors before warnings on
+        the same location; stable and deterministic across runs."""
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    # -- policy --------------------------------------------------------
+
+    def promote_warnings(self) -> int:
+        """``--werror``: turn every warning into an error. Returns how
+        many were promoted."""
+        promoted = 0
+        for diag in self.diagnostics:
+            if diag.severity is Severity.WARNING:
+                diag.severity = Severity.ERROR
+                promoted += 1
+        return promoted
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        for diag in diags:
+            self.add(diag)
+
+
+__all__ = [
+    "Severity",
+    "Span",
+    "Diagnostic",
+    "DiagnosticSink",
+    "diagnostic_from_error",
+]

@@ -1,0 +1,99 @@
+"""Text rendering of diagnostics with caret/underline source excerpts.
+
+Output format (modelled on modern compiler CLIs)::
+
+    error[NCL0404]: use of undeclared identifier 'foo'
+      --> demo.ncl:4:9
+       |
+     4 |   x = foo + 1;
+       |       ^^^
+       = note: declare 'foo' before use
+
+Secondary spans render as extra excerpt blocks underlined with ``-`` and
+carry their label on the underline line, so e.g. a race reports both
+conflicting access sites in one diagnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.diag import Diagnostic, DiagnosticSink, Severity, Span
+
+
+class SourceMap:
+    """Line-splitting cache over ``{filename: source_text}``."""
+
+    def __init__(self, sources: Optional[Mapping[str, str]] = None):
+        self._lines: Dict[str, List[str]] = {}
+        for name, text in (sources or {}).items():
+            self.add(name, text)
+
+    def add(self, filename: str, text: str) -> None:
+        self._lines[filename] = text.splitlines()
+
+    def line(self, filename: str, lineno: int) -> Optional[str]:
+        lines = self._lines.get(filename)
+        if lines is None or not (1 <= lineno <= len(lines)):
+            return None
+        return lines[lineno - 1]
+
+
+def _excerpt(sources: SourceMap, span: Span, marker: str) -> List[str]:
+    """The ``--> file:line:col`` header plus gutter/caret lines."""
+    loc = span.loc
+    out = [f"  --> {loc.filename}:{loc.line}:{loc.column}"]
+    text = sources.line(loc.filename, loc.line)
+    if text is None:
+        if span.label:
+            out[-1] += f"  ({span.label})"
+        return out
+    gutter = f"{loc.line} "
+    pad = " " * len(gutter)
+    # Tabs would break caret alignment; render them as single spaces.
+    shown = text.replace("\t", " ")
+    underline_len = max(1, min(span.length, max(1, len(shown) - loc.column + 1)))
+    underline = " " * max(0, loc.column - 1) + marker * underline_len
+    if span.label:
+        underline += f" {span.label}"
+    out.append(f"{pad}|")
+    out.append(f"{gutter}| {shown}")
+    out.append(f"{pad}| {underline}")
+    return out
+
+
+def render_diagnostic(diag: Diagnostic, sources: SourceMap) -> str:
+    head = f"{diag.severity.label}[{diag.code}]: {diag.message}"
+    lines = [head]
+    if diag.primary is not None:
+        lines.extend(_excerpt(sources, diag.primary, "^"))
+    for span in diag.secondary:
+        lines.extend(_excerpt(sources, span, "-"))
+    for note in diag.notes:
+        lines.append(f"  = note: {note}")
+    if diag.fixit:
+        lines.append(f"  = help: {diag.fixit}")
+    return "\n".join(lines)
+
+
+def render_text(
+    sink: DiagnosticSink,
+    sources: Optional[Mapping[str, str]] = None,
+    summary: bool = True,
+) -> str:
+    """Render every diagnostic in source order plus a summary line."""
+    srcmap = sources if isinstance(sources, SourceMap) else SourceMap(sources)
+    blocks = [render_diagnostic(d, srcmap) for d in sink.sorted()]
+    if summary:
+        n_err = sink.count(Severity.ERROR)
+        n_warn = sink.count(Severity.WARNING)
+        if n_err or n_warn:
+            parts = []
+            if n_err:
+                parts.append(f"{n_err} error{'s' if n_err != 1 else ''}")
+            if n_warn:
+                parts.append(f"{n_warn} warning{'s' if n_warn != 1 else ''}")
+            blocks.append(" and ".join(parts) + " generated")
+        else:
+            blocks.append("no diagnostics")
+    return "\n\n".join(blocks) + "\n" if blocks else ""

@@ -42,21 +42,40 @@ class NclError(ReproError):
     """An error in an NCL source program.
 
     Carries an optional :class:`SourceLocation` that is rendered in the
-    message, mirroring a conventional compiler diagnostic.
+    message, mirroring a conventional compiler diagnostic. ``code`` is a
+    stable diagnostic code (``NCL0412``-style; subclasses provide a
+    :attr:`default_code`) and ``length`` the caret-span width in columns
+    -- both consumed by :mod:`repro.diag` when the front end runs in
+    error-recovery mode.
     """
 
-    def __init__(self, message: str, loc: "SourceLocation | None" = None):
+    #: fallback diagnostic code for errors raised without an explicit one
+    default_code = "NCL0001"
+
+    def __init__(
+        self,
+        message: str,
+        loc: "SourceLocation | None" = None,
+        code: "str | None" = None,
+        length: int = 1,
+    ):
         self.loc = loc
         self.message = message
+        self.code = code
+        self.length = length
         super().__init__(f"{loc}: {message}" if loc else message)
 
 
 class NclSyntaxError(NclError):
     """Lexical or syntactic error in NCL source."""
 
+    default_code = "NCL0101"
+
 
 class NclTypeError(NclError):
     """Semantic/type error in NCL source."""
+
+    default_code = "NCL0400"
 
 
 class IrError(ReproError):

@@ -16,6 +16,11 @@ __all__ = [
 ]
 
 
-def frontend(source: str, filename: str = "<ncl>", defines=None) -> TranslationUnit:
-    """Parse and analyze NCL source in one step."""
-    return analyze(parse(source, filename, defines))
+def frontend(source: str, filename: str = "<ncl>", defines=None, sink=None) -> TranslationUnit:
+    """Parse and analyze NCL source in one step.
+
+    With a :class:`repro.diag.DiagnosticSink` as *sink*, semantic errors
+    are collected instead of raised (parse errors still raise -- the
+    parser is fail-fast).
+    """
+    return analyze(parse(source, filename, defines), sink=sink)

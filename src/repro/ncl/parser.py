@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import List, Mapping, Optional, Tuple, Union
 
-from repro.errors import NclSyntaxError, SourceLocation
+from repro.errors import NclSyntaxError, NclTypeError, SourceLocation
 from repro.ncl import ast
 from repro.ncl.lexer import tokenize
 from repro.ncl.tokens import Token, TokenKind
@@ -151,13 +151,13 @@ class Parser:
             self._expect_punct(",")
             cap = self._parse_const_int("Map capacity", template_arg=True)
             self._expect_template_close(loc)
-            return MapType(key, value, cap)
+            return _construct_type(lambda: MapType(key, value, cap), loc)
         if name == "BloomFilter":
             nbits = self._parse_const_int("BloomFilter size", template_arg=True)
             self._expect_punct(",")
             nhashes = self._parse_const_int("BloomFilter hash count", template_arg=True)
             self._expect_template_close(loc)
-            return BloomFilterType(nbits, nhashes)
+            return _construct_type(lambda: BloomFilterType(nbits, nhashes), loc)
         raise NclSyntaxError(f"unknown ncl:: type {name!r}", loc)
 
     def _expect_template_close(self, loc: SourceLocation) -> None:
@@ -192,7 +192,7 @@ class Parser:
             dims.append(self._parse_const_int("array dimension"))
             self._expect_punct("]")
         for dim in reversed(dims):
-            ty = ArrayType(ty, dim)
+            ty = _construct_type(lambda: ArrayType(ty, dim), name_tok.loc)
         return name_tok.text, ty, name_tok.loc
 
     # -- initializers ------------------------------------------------------
@@ -634,13 +634,29 @@ class Parser:
         return self.parse_assignment()
 
 
+def _construct_type(build, loc: SourceLocation) -> Type:
+    """Run a type constructor, attaching *loc* to any validation error.
+
+    The :mod:`repro.ncl.types` constructors validate their arguments
+    (positive array lengths, scalar Map keys, ...) but have no notion of
+    source positions; re-raising here keeps those errors span-carrying.
+    """
+    try:
+        return build()
+    except NclTypeError as exc:
+        if exc.loc is not None:
+            raise
+        raise type(exc)(exc.message, loc, code=exc.code, length=exc.length) from None
+
+
 def _combine_type_words(words: List[str], loc: SourceLocation) -> Type:
     """Fold multi-keyword C type specifiers into a concrete type."""
     from repro.ncl.types import IntType
 
     unique = tuple(sorted(words))
-    if len(words) == 1:
+    if len(words) == 1 and words[0] in BUILTIN_TYPE_NAMES:
         return BUILTIN_TYPE_NAMES[words[0]]
+    # Bare "short"/"signed" fall through to the multi-word folding below.
     signed = "unsigned" not in words
     core = [w for w in words if w not in ("unsigned", "signed")]
     if not core or core == ["int"]:

@@ -23,8 +23,10 @@ Key NCL rules enforced here:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
+from repro.diag import DiagnosticSink, diagnostic_from_error
 from repro.errors import NclTypeError, SourceLocation
 from repro.ncl import ast
 from repro.ncl.symbols import Scope, Symbol, SymbolKind
@@ -36,6 +38,7 @@ from repro.ncl.types import (
     I64,
     IntType,
     MapType,
+    POISON,
     PointerType,
     Type,
     U16,
@@ -158,10 +161,22 @@ class _FnContext:
 
 
 class SemanticAnalyzer:
-    def __init__(self, program: ast.Program):
+    """Type checker with two failure modes.
+
+    Without a sink, the first error raises :class:`NclTypeError`
+    (fail-fast, the historical behaviour every caller relies on). With a
+    :class:`repro.diag.DiagnosticSink`, errors are recorded and analysis
+    keeps going: erroneous expressions get the poison type
+    (:data:`repro.ncl.types.POISON`), failed declarations still bind
+    their name, and every independent mistake in the program surfaces in
+    a single run.
+    """
+
+    def __init__(self, program: ast.Program, sink: Optional[DiagnosticSink] = None):
         self._program = program
         self._unit = TranslationUnit(program)
         self._globals = Scope()
+        self._sink = sink
 
     # ------------------------------------------------------------------
     # Entry point
@@ -173,9 +188,35 @@ class SemanticAnalyzer:
         self._collect_functions()
         for decl in self._program.functions:
             if decl.body is not None:
-                self._check_function(decl)
+                with self._recover():
+                    self._check_function(decl)
         self._check_kernel_pairing()
         return self._unit
+
+    # ------------------------------------------------------------------
+    # Error recovery
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _recover(self):
+        """Catch an :class:`NclTypeError` and record it, or re-raise when
+        running without a sink. The guarded region simply stops early."""
+        try:
+            yield
+        except NclTypeError as exc:
+            if self._sink is None:
+                raise
+            self._sink.add(diagnostic_from_error(exc))
+
+    def _common_type(self, a: Type, b: Type, loc: SourceLocation) -> Type:
+        """`common_type` with the caller's location attached on failure
+        (the raw types.py raise carries no source position)."""
+        try:
+            return common_type(a, b)
+        except NclTypeError as exc:
+            if exc.loc is None:
+                raise NclTypeError(exc.message, loc, code=exc.code) from None
+            raise
 
     # ------------------------------------------------------------------
     # Declaration collection
@@ -187,19 +228,30 @@ class SemanticAnalyzer:
             return
         builtin_names = {name for name, _ in BUILTIN_WINDOW_FIELDS}
         for name, ty in ext.fields:
-            if name in builtin_names:
-                raise NclTypeError(
-                    f"window extension field {name!r} shadows a builtin field", ext.loc
-                )
-            if any(name == existing for existing, _ in self._unit.window_fields):
-                raise NclTypeError(f"duplicate window field {name!r}", ext.loc)
-            self._unit.window_fields.append((name, ty))
+            with self._recover():
+                if name in builtin_names:
+                    raise NclTypeError(
+                        f"window extension field {name!r} shadows a builtin field",
+                        ext.loc,
+                    )
+                if any(name == existing for existing, _ in self._unit.window_fields):
+                    raise NclTypeError(f"duplicate window field {name!r}", ext.loc)
+                self._unit.window_fields.append((name, ty))
 
     def _collect_globals(self) -> None:
         for gvar in self._program.globals:
-            kind = self._classify_global(gvar)
+            try:
+                kind = self._classify_global(gvar)
+            except NclTypeError as exc:
+                if self._sink is None:
+                    raise
+                self._sink.add(diagnostic_from_error(exc))
+                # Classify by structure anyway so later uses of the name
+                # do not cascade into "undeclared identifier" errors.
+                kind = self._fallback_kind(gvar)
             sym = Symbol(gvar.name, gvar.ty, kind, gvar.loc, at_label=gvar.at_label)
-            self._globals.declare(sym)
+            with self._recover():
+                self._globals.declare(sym)
             self._unit.symbols[gvar.name] = sym
             if kind is SymbolKind.MAP:
                 self._unit.maps[gvar.name] = gvar
@@ -241,6 +293,19 @@ class SemanticAnalyzer:
             return SymbolKind.NET_MEM
         return SymbolKind.HOST_GLOBAL
 
+    @staticmethod
+    def _fallback_kind(gvar: ast.GlobalVar) -> SymbolKind:
+        """Best-effort kind for a global whose classification errored."""
+        if isinstance(gvar.ty, MapType):
+            return SymbolKind.MAP
+        if isinstance(gvar.ty, BloomFilterType):
+            return SymbolKind.BLOOM
+        if gvar.is_ctrl:
+            return SymbolKind.CTRL
+        if gvar.is_net:
+            return SymbolKind.NET_MEM
+        return SymbolKind.HOST_GLOBAL
+
     def _collect_functions(self) -> None:
         prototypes: Dict[str, ast.FuncDecl] = {}
         for decl in self._program.functions:
@@ -258,13 +323,18 @@ class SemanticAnalyzer:
                     proto.body = decl.body
                     proto.params = decl.params
                     continue
-                raise NclTypeError(f"redefinition of {decl.name!r}", decl.loc)
+                with self._recover():
+                    raise NclTypeError(f"redefinition of {decl.name!r}", decl.loc)
+                continue  # recovered: keep the first definition
             if decl.body is None:
                 prototypes[decl.name] = decl
             sym = Symbol(decl.name, decl.ret, SymbolKind.FUNC, decl.loc, at_label=decl.at_label)
             self._globals.declare(sym)
             self._unit.symbols[decl.name] = sym
-            self._validate_signature(decl)
+            # Recoverable: an invalid signature still registers the kernel
+            # so ncl::out(kernel, ...) call sites do not cascade.
+            with self._recover():
+                self._validate_signature(decl)
             if decl.kernel_kind is ast.KernelKind.OUT:
                 self._unit.out_kernels[decl.name] = KernelInfo(decl)
             elif decl.kernel_kind is ast.KernelKind.IN:
@@ -312,11 +382,12 @@ class SemanticAnalyzer:
         for name in self._unit.in_kernels:
             if self._unit.paired_out_kernel(name) is None and self._unit.out_kernels:
                 info = self._unit.in_kernels[name]
-                raise NclTypeError(
-                    f"incoming kernel {name!r} does not match any outgoing "
-                    "kernel's parameter list",
-                    info.decl.loc,
-                )
+                with self._recover():
+                    raise NclTypeError(
+                        f"incoming kernel {name!r} does not match any outgoing "
+                        "kernel's parameter list",
+                        info.decl.loc,
+                    )
 
     # ------------------------------------------------------------------
     # Function body checking
@@ -335,6 +406,12 @@ class SemanticAnalyzer:
             self._check_stmt(stmt, inner, ctx)
 
     def _check_stmt(self, stmt: ast.Stmt, scope: Scope, ctx: _FnContext) -> None:
+        # Statement granularity is the recovery unit: one bad statement is
+        # recorded and skipped, its siblings are still checked.
+        with self._recover():
+            self._check_stmt_inner(stmt, scope, ctx)
+
+    def _check_stmt_inner(self, stmt: ast.Stmt, scope: Scope, ctx: _FnContext) -> None:
         if isinstance(stmt, ast.Block):
             self._check_block(stmt, scope, ctx)
         elif isinstance(stmt, ast.DeclStmt):
@@ -368,6 +445,20 @@ class SemanticAnalyzer:
             raise NclTypeError(f"unsupported statement {type(stmt).__name__}", stmt.loc)
 
     def _check_decl(self, stmt: ast.DeclStmt, scope: Scope, ctx: _FnContext) -> None:
+        try:
+            self._check_decl_inner(stmt, scope, ctx)
+        except NclTypeError as exc:
+            if self._sink is None:
+                raise
+            self._sink.add(diagnostic_from_error(exc))
+            # Bind the name anyway (with poison if the type is unknown) so
+            # later uses do not report it as undeclared.
+            if stmt.ty is None:
+                stmt.ty = POISON
+            if scope.lookup(stmt.name) is None:
+                scope.declare(Symbol(stmt.name, stmt.ty, SymbolKind.LOCAL, stmt.loc))
+
+    def _check_decl_inner(self, stmt: ast.DeclStmt, scope: Scope, ctx: _FnContext) -> None:
         braced = getattr(stmt, "braced_init", None)
         if braced is not None:
             raise NclTypeError(
@@ -438,7 +529,13 @@ class SemanticAnalyzer:
     # ------------------------------------------------------------------
 
     def _check_expr(self, expr: ast.Expr, scope: Scope, ctx: _FnContext) -> Type:
-        ty = self._check_expr_inner(expr, scope, ctx)
+        try:
+            ty = self._check_expr_inner(expr, scope, ctx)
+        except NclTypeError as exc:
+            if self._sink is None:
+                raise
+            self._sink.add(diagnostic_from_error(exc))
+            ty = POISON
         expr.ty = ty
         return ty
 
@@ -473,7 +570,7 @@ class SemanticAnalyzer:
             other_ty = self._check_expr(expr.other, scope, ctx)
             if then_ty == other_ty:
                 return then_ty
-            return common_type(then_ty, other_ty)
+            return self._common_type(then_ty, other_ty, expr.loc)
         if isinstance(expr, ast.Call):
             return self._check_call(expr, scope, ctx)
         if isinstance(expr, ast.Cast):
@@ -500,7 +597,12 @@ class SemanticAnalyzer:
             return VOID
         sym = scope.lookup(expr.name)
         if sym is None:
-            raise NclTypeError(f"use of undeclared identifier {expr.name!r}", expr.loc)
+            raise NclTypeError(
+                f"use of undeclared identifier {expr.name!r}",
+                expr.loc,
+                code="NCL0404",
+                length=len(expr.name),
+            )
         expr.decl = sym
         self._check_symbol_access(sym, expr.loc, ctx)
         return sym.ty
@@ -552,6 +654,8 @@ class SemanticAnalyzer:
     def _check_index(self, expr: ast.Index, scope: Scope, ctx: _FnContext) -> Type:
         base_ty = self._check_expr(expr.base, scope, ctx)
         index_ty = self._check_expr(expr.index, scope, ctx)
+        if base_ty.is_error or index_ty.is_error:
+            return POISON  # suppress cascades from an already-bad operand
         if isinstance(base_ty, MapType):
             if not ctx.is_out_kernel:
                 raise NclTypeError("Map lookup is only valid in outgoing kernels", expr.loc)
@@ -574,6 +678,8 @@ class SemanticAnalyzer:
 
     def _check_unary(self, expr: ast.Unary, scope: Scope, ctx: _FnContext) -> Type:
         operand_ty = self._check_expr(expr.operand, scope, ctx)
+        if operand_ty.is_error:
+            return POISON  # suppress cascades from an already-bad operand
         op = expr.op
         if op in ("++", "--"):
             self._require_lvalue(expr.operand, ctx)
@@ -594,12 +700,14 @@ class SemanticAnalyzer:
         if op in ("-", "~"):
             if not operand_ty.is_scalar:
                 raise NclTypeError(f"cannot apply {op} to {operand_ty!r}", expr.loc)
-            return common_type(operand_ty, I32)
+            return self._common_type(operand_ty, I32, expr.loc)
         raise NclTypeError(f"unsupported unary operator {op!r}", expr.loc)
 
     def _check_binary(self, expr: ast.Binary, scope: Scope, ctx: _FnContext) -> Type:
         lhs_ty = self._check_expr(expr.lhs, scope, ctx)
         rhs_ty = self._check_expr(expr.rhs, scope, ctx)
+        if lhs_ty.is_error or rhs_ty.is_error:
+            return POISON  # suppress cascades from an already-bad operand
         op = expr.op
         if op == ",":
             return rhs_ty
@@ -617,13 +725,13 @@ class SemanticAnalyzer:
                 if not other.is_integer:
                     raise NclTypeError("invalid pointer comparison", expr.loc)
                 return BOOL
-            common_type(lhs_ty, rhs_ty)  # validates operands
+            self._common_type(lhs_ty, rhs_ty, expr.loc)  # validates operands
             return BOOL
         if not (lhs_ty.is_scalar and rhs_ty.is_scalar):
             raise NclTypeError(
                 f"invalid operands to {op!r}: {lhs_ty!r} and {rhs_ty!r}", expr.loc
             )
-        return common_type(lhs_ty, rhs_ty)
+        return self._common_type(lhs_ty, rhs_ty, expr.loc)
 
     def _check_assign(self, expr: ast.Assign, scope: Scope, ctx: _FnContext) -> Type:
         target_ty = self._check_expr(expr.target, scope, ctx)
@@ -722,7 +830,12 @@ class SemanticAnalyzer:
         # User helper function.
         sym = self._globals.lookup(name)
         if sym is None or sym.kind is not SymbolKind.FUNC:
-            raise NclTypeError(f"call to undeclared function {name!r}", expr.loc)
+            raise NclTypeError(
+                f"call to undeclared function {name!r}",
+                expr.loc,
+                code="NCL0405",
+                length=len(name),
+            )
         decl = self._find_function(name)
         if decl is None:
             raise NclTypeError(f"{name!r} is not callable here", expr.loc)
@@ -780,9 +893,9 @@ class SemanticAnalyzer:
         src_ty = self._check_expr(expr.args[1], scope, ctx)
         len_ty = self._check_expr(expr.args[2], scope, ctx)
         for what, ty, arg in (("dst", dst_ty, expr.args[0]), ("src", src_ty, expr.args[1])):
-            if not (ty.is_pointer or ty.is_array):
+            if not (ty.is_pointer or ty.is_array or ty.is_error):
                 raise NclTypeError(f"memcpy {what} must be pointer/array, got {ty!r}", arg.loc)
-        if not len_ty.is_integer:
+        if not (len_ty.is_integer or len_ty.is_error):
             raise NclTypeError("memcpy length must be an integer", expr.args[2].loc)
         return VOID
 
@@ -803,9 +916,9 @@ class SemanticAnalyzer:
             raise NclTypeError(f"{expr.name}(filter, key) takes 2 arguments", expr.loc)
         filt_ty = self._check_expr(expr.args[0], scope, ctx)
         key_ty = self._check_expr(expr.args[1], scope, ctx)
-        if not isinstance(filt_ty, BloomFilterType):
+        if not isinstance(filt_ty, BloomFilterType) and not filt_ty.is_error:
             raise NclTypeError("first argument must be a BloomFilter", expr.args[0].loc)
-        if not key_ty.is_integer:
+        if not (key_ty.is_integer or key_ty.is_error):
             raise NclTypeError("BloomFilter key must be integer", expr.args[1].loc)
         return BOOL if expr.name == "ncl::bf_query" else VOID
 
@@ -839,6 +952,14 @@ class SemanticAnalyzer:
         return I32 if expr.name in ("ncl::out", "ncl::in") else VOID
 
 
-def analyze(program: ast.Program) -> TranslationUnit:
-    """Run semantic analysis over a parsed NCL program."""
-    return SemanticAnalyzer(program).analyze()
+def analyze(
+    program: ast.Program, sink: Optional[DiagnosticSink] = None
+) -> TranslationUnit:
+    """Run semantic analysis over a parsed NCL program.
+
+    Without *sink*, the first error raises :class:`NclTypeError`. With a
+    sink, all independent errors are collected and the (possibly
+    poison-typed) translation unit is returned; check
+    ``sink.has_errors`` before handing it to the compiler.
+    """
+    return SemanticAnalyzer(program, sink=sink).analyze()

@@ -50,10 +50,31 @@ class Type:
         """Scalars fit in a single PHV/metadata field."""
         return isinstance(self, (IntType, BoolType))
 
+    @property
+    def is_error(self) -> bool:
+        return isinstance(self, ErrorType)
+
 
 class VoidType(Type):
     def __repr__(self) -> str:
         return "void"
+
+
+class ErrorType(Type):
+    """Poison type synthesized during error recovery.
+
+    When semantic analysis runs with a :class:`repro.diag.DiagnosticSink`
+    it reports an error and keeps going; the erroneous expression gets
+    this type, which is compatible with everything so one mistake does
+    not cascade into dozens of follow-on diagnostics.
+    """
+
+    @property
+    def is_scalar(self) -> bool:
+        return True  # behaves like a scalar so conditions/arith proceed
+
+    def __repr__(self) -> str:
+        return "<error>"
 
 
 class BoolType(Type):
@@ -170,6 +191,7 @@ class BloomFilterType(Type):
 # Canonical instances -------------------------------------------------------
 
 VOID = VoidType()
+POISON = ErrorType()
 BOOL = BoolType()
 CHAR = IntType(8, signed=True)
 I8 = IntType(8, signed=True)
@@ -207,6 +229,8 @@ def scalar_bits(ty: Type) -> int:
         return ty.bits
     if isinstance(ty, BoolType):
         return BoolType.bits
+    if isinstance(ty, ErrorType):
+        return 32  # poison: any width works, recovery never codegens
     raise NclTypeError(f"{ty!r} is not a scalar type")
 
 
@@ -224,6 +248,8 @@ def common_type(a: Type, b: Type) -> Type:
     The wider operand wins; on equal width, unsigned wins. bool promotes
     to ``int`` as in C.
     """
+    if a.is_error or b.is_error:
+        return POISON
     if a.is_bool and b.is_bool:
         return I32
     ta = I32 if a.is_bool else a
@@ -251,6 +277,8 @@ def assignable(dst: Type, src: Type) -> bool:
     than exact match are rejected (they cannot be represented in a PHV).
     Integer narrowing/widening is allowed, as in C.
     """
+    if dst.is_error or src.is_error:
+        return True  # poison assigns to/from anything (error recovery)
     if dst.is_array or src.is_array:
         return False  # arrays are not assignable in C
     if dst == src:

@@ -6,6 +6,11 @@ Compile an NCL program and emit the per-switch P4 artifacts::
     python -m repro.nclc program.ncl --profile tofino-like \
         --window 'kernel=8' --ext 'len=8' -D DATA_LEN=512 -D WIN_LEN=8
 
+Or run static analysis only (multi-error recovery, the race detector,
+PISA-resource explanations -- see :mod:`repro.nclc.lint`)::
+
+    python -m repro.nclc lint program.ncl [--json] [--werror] [-W race]
+
 Outputs, per switch label: ``<label>.p4`` (generated source) and
 ``<label>.report.json`` (the backend's acceptance report). A rejection
 prints the backend's feedback and exits non-zero -- the trial-and-error
@@ -93,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        from repro.nclc.lint import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     source = Path(args.source).read_text()
     and_text = Path(args.and_file).read_text() if args.and_file else None

@@ -19,35 +19,64 @@ expensive transformation runs. Checks:
 Loop trip-count constancy is *not* checked here -- it cannot be decided
 before window specialization, so the unroller performs it and raises the
 same :class:`ConformanceError`.
+
+Two failure modes, mirroring :mod:`repro.ncl.sema`: without a sink the
+first violation raises :class:`ConformanceError` (the compile pipeline's
+behaviour); with a :class:`repro.diag.DiagnosticSink` every violation is
+recorded as a structured ``NCL06xx`` diagnostic -- with the source span
+of the offending instruction when NIR carries one -- and checking
+continues.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
-from repro.errors import ConformanceError
+from repro.diag import DiagnosticSink
+from repro.errors import ConformanceError, SourceLocation
 from repro.andspec.model import AndSpec
 from repro.nir import ir
 
+#: Diagnostic codes for the conformance stage.
+CODE_RECURSION = "NCL0601"
+CODE_DIVMOD = "NCL0602"
+CODE_LOCATION_CONFLICT = "NCL0603"
+CODE_UNKNOWN_LABEL = "NCL0604"
+CODE_HOST_PINNED_STATE = "NCL0605"
 
-def check_module(module: ir.Module, and_spec: Optional[AndSpec] = None) -> List[str]:
+_Fail = Callable[..., None]
+
+
+def check_module(
+    module: ir.Module,
+    and_spec: Optional[AndSpec] = None,
+    sink: Optional[DiagnosticSink] = None,
+    unit: object = None,
+) -> List[str]:
     """Run all conformance checks; returns a list of informational notes.
 
-    Raises :class:`ConformanceError` on the first hard violation.
+    Without *sink*, raises :class:`ConformanceError` on the first hard
+    violation. With a sink, records every violation and returns.
     """
     notes: List[str] = []
-    _check_no_recursion(module)
+
+    def fail(code: str, message: str, loc: Optional[SourceLocation] = None) -> None:
+        if sink is None:
+            raise ConformanceError(message)
+        sink.error(code, message, loc, rule="conformance")
+
+    _check_no_recursion(module, fail)
     for fn in module.kernels(ir.FunctionKind.OUT_KERNEL):
-        _check_kernel_ops(fn)
-        _check_location_conflicts(module, fn)
+        _check_kernel_ops(fn, fail)
+        _check_location_conflicts(module, fn, fail)
         if and_spec is not None:
-            _check_labels(fn, and_spec)
+            _check_labels(fn, and_spec, fail)
     if and_spec is not None:
-        _check_global_labels(module, and_spec)
+        _check_global_labels(module, and_spec, fail)
     return notes
 
 
-def _check_no_recursion(module: ir.Module) -> None:
+def _check_no_recursion(module: ir.Module, fail: _Fail) -> None:
     graph: Dict[str, Set[str]] = {}
     for fn in module.functions.values():
         callees = {
@@ -65,10 +94,11 @@ def _check_no_recursion(module: ir.Module) -> None:
         for callee in graph.get(name, ()):
             if color.get(callee) == GRAY:
                 cycle = " -> ".join(path + [name, callee])
-                raise ConformanceError(
-                    f"recursive call chain cannot map to PISA: {cycle}"
+                fail(
+                    CODE_RECURSION,
+                    f"recursive call chain cannot map to PISA: {cycle}",
                 )
-            if color.get(callee) == WHITE:
+            elif color.get(callee) == WHITE:
                 visit(callee, path + [name])
         color[name] = BLACK
 
@@ -77,7 +107,7 @@ def _check_no_recursion(module: ir.Module) -> None:
             visit(name, [])
 
 
-def _check_kernel_ops(fn: ir.Function) -> None:
+def _check_kernel_ops(fn: ir.Function, fail: _Fail) -> None:
     for instr in fn.instructions():
         if isinstance(instr, ir.BinOp) and instr.op in ("udiv", "sdiv", "urem", "srem"):
             divisor = instr.rhs
@@ -85,23 +115,27 @@ def _check_kernel_ops(fn: ir.Function) -> None:
                 divisor.value & (divisor.value - 1)
             ) == 0:
                 continue  # strength-reduced to a shift/mask later
-            raise ConformanceError(
+            fail(
+                CODE_DIVMOD,
                 f"{fn.name}: {instr.op} with a non-power-of-two divisor "
-                "cannot map to the PISA ALU"
+                "cannot map to the PISA ALU",
+                instr.loc,
             )
 
 
-def _check_location_conflicts(module: ir.Module, fn: ir.Function) -> None:
+def _check_location_conflicts(module: ir.Module, fn: ir.Function, fail: _Fail) -> None:
     if fn.at_label is None:
         return
     for instr in fn.instructions():
         ref = getattr(instr, "ref", None)
         if isinstance(ref, ir.GlobalRef) and ref.space in ("net", "ctrl", "map", "bloom"):
             if ref.at_label is not None and ref.at_label != fn.at_label:
-                raise ConformanceError(
+                fail(
+                    CODE_LOCATION_CONFLICT,
                     f"location conflict: kernel {fn.name!r} at "
                     f'"{fn.at_label}" accesses {ref.name!r} pinned to '
-                    f'"{ref.at_label}"'
+                    f'"{ref.at_label}"',
+                    instr.loc,
                 )
         if isinstance(instr, ir.Memcpy):
             for region in (instr.dst, instr.src):
@@ -111,46 +145,54 @@ def _check_location_conflicts(module: ir.Module, fn: ir.Function) -> None:
                     and gref.at_label is not None
                     and gref.at_label != fn.at_label
                 ):
-                    raise ConformanceError(
+                    fail(
+                        CODE_LOCATION_CONFLICT,
                         f"location conflict: kernel {fn.name!r} at "
                         f'"{fn.at_label}" memcpys {gref.name!r} pinned to '
-                        f'"{gref.at_label}"'
+                        f'"{gref.at_label}"',
+                        instr.loc,
                     )
 
 
-def _kernel_labels(fn: ir.Function) -> Iterable[str]:
+def _kernel_labels(fn: ir.Function) -> Iterable[ir.Instr]:
     for instr in fn.instructions():
         if isinstance(instr, ir.Fwd) and instr.label is not None:
-            yield instr.label
+            yield instr
         elif isinstance(instr, ir.LocLabel):
-            yield instr.label
+            yield instr
 
 
-def _check_labels(fn: ir.Function, and_spec: AndSpec) -> None:
+def _check_labels(fn: ir.Function, and_spec: AndSpec, fail: _Fail) -> None:
     known = set(and_spec.label_ids())
     if fn.at_label is not None and fn.at_label not in known:
-        raise ConformanceError(
-            f'kernel {fn.name!r}: _at_("{fn.at_label}") is not in the AND'
+        fail(
+            CODE_UNKNOWN_LABEL,
+            f'kernel {fn.name!r}: _at_("{fn.at_label}") is not in the AND',
         )
-    for label in _kernel_labels(fn):
-        if label not in known:
-            raise ConformanceError(
-                f"kernel {fn.name!r}: label {label!r} is not in the AND"
+    for instr in _kernel_labels(fn):
+        if instr.label not in known:
+            fail(
+                CODE_UNKNOWN_LABEL,
+                f"kernel {fn.name!r}: label {instr.label!r} is not in the AND",
+                instr.loc,
             )
 
 
-def _check_global_labels(module: ir.Module, and_spec: AndSpec) -> None:
+def _check_global_labels(module: ir.Module, and_spec: AndSpec, fail: _Fail) -> None:
     known = and_spec.label_ids()
     for ref in module.globals.values():
         if ref.at_label is None:
             continue
         if ref.at_label not in known:
-            raise ConformanceError(
-                f'global {ref.name!r}: _at_("{ref.at_label}") is not in the AND'
+            fail(
+                CODE_UNKNOWN_LABEL,
+                f'global {ref.name!r}: _at_("{ref.at_label}") is not in the AND',
             )
+            continue
         node = and_spec.node(ref.at_label)
         if ref.space in ("net", "ctrl", "map", "bloom") and not node.is_switch:
-            raise ConformanceError(
+            fail(
+                CODE_HOST_PINNED_STATE,
                 f"global {ref.name!r}: switch state cannot be pinned to "
-                f"host {ref.at_label!r}"
+                f"host {ref.at_label!r}",
             )

@@ -1,0 +1,145 @@
+"""``python -m repro.nclc lint`` -- the static-analysis CLI.
+
+Lints one or more NCL sources with the full :mod:`repro.analysis`
+pipeline (multi-error sema recovery, conformance explanations, the rule
+set) and renders either human-readable text with caret excerpts or the
+deterministic ``repro.diag/1`` JSON form.
+
+Exit codes: 0 clean (warnings allowed), 1 error-level diagnostics
+(including promoted warnings under ``--werror``), 2 usage errors
+(unknown rule/profile, unreadable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import all_rules, lint_source
+from repro.diag import DiagnosticSink
+from repro.diag.export import render_json
+from repro.diag.render import SourceMap, render_text
+from repro.errors import AndError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nclc lint",
+        description="Static analysis for NCL programs (no code generation)",
+    )
+    parser.add_argument("sources", nargs="*", help="NCL source files")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the deterministic repro.diag/1 JSON report",
+    )
+    parser.add_argument(
+        "--werror",
+        action="store_true",
+        help="treat warnings as errors (exit 1 on any finding)",
+    )
+    parser.add_argument(
+        "-W",
+        "--rule",
+        dest="rules",
+        action="append",
+        metavar="RULE",
+        help="select rules: a name runs only the listed rules, "
+        "'no-NAME' disables one (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered analysis rules and exit",
+    )
+    parser.add_argument(
+        "--profile",
+        default="bmv2",
+        help="chip profile for PISA-resource estimates: bmv2 | tofino-like",
+    )
+    parser.add_argument("--and", dest="and_file", help="AND overlay file")
+    parser.add_argument(
+        "-D",
+        dest="defines",
+        action="append",
+        metavar="NAME=VALUE",
+        help="constant definition (repeatable)",
+    )
+    parser.add_argument(
+        "--no-summary",
+        action="store_true",
+        help="omit the trailing summary line of the text report",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            codes = ", ".join(rule.codes)
+            print(f"{rule.name:20} {codes:30} {rule.about}")
+        return 0
+    if not args.sources:
+        print("error: no source files given", file=sys.stderr)
+        return 2
+
+    defines = {}
+    for pair in args.defines or []:
+        if "=" not in pair:
+            print(f"error: expected NAME=VALUE, got {pair!r}", file=sys.stderr)
+            return 2
+        name, _, value = pair.partition("=")
+        defines[name.strip()] = int(value)
+
+    and_text = None
+    if args.and_file:
+        try:
+            and_text = Path(args.and_file).read_text()
+        except OSError as exc:
+            print(f"error: cannot read AND file: {exc}", file=sys.stderr)
+            return 2
+
+    sink = DiagnosticSink()
+    sources = {}
+    for src_path in args.sources:
+        try:
+            text = Path(src_path).read_text()
+        except OSError as exc:
+            print(f"error: cannot read {src_path}: {exc}", file=sys.stderr)
+            return 2
+        sources[src_path] = text
+        try:
+            lint_source(
+                text,
+                src_path,
+                defines=defines or None,
+                and_text=and_text,
+                profile=args.profile,
+                rules=args.rules,
+                werror=False,  # promote once, after all files are in
+                sink=sink,
+            )
+        except (ValueError, KeyError) as exc:
+            # unknown rule name / unknown profile
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except AndError as exc:
+            print(f"error: invalid AND: {exc}", file=sys.stderr)
+            return 2
+
+    if args.werror:
+        sink.promote_warnings()
+
+    if args.json:
+        sys.stdout.write(render_json(sink))
+    else:
+        sys.stdout.write(
+            render_text(sink, SourceMap(sources), summary=not args.no_summary)
+        )
+    return 1 if sink.has_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

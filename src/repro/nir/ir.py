@@ -151,6 +151,9 @@ class Instr(Value):
         self.operands: List[Value] = list(operands)
         self.id = next(_id_counter)
         self.block: Optional["Block"] = None
+        #: NCL source location of the construct this instruction was
+        #: lowered from (stamped by the lowerer; None for synthetic IR).
+        self.loc = None
 
     def short(self) -> str:
         return f"%{self.id}"
@@ -212,13 +215,19 @@ class UnOp(Instr):
 
 
 class Cast(Instr):
-    """zext / sext / trunc / bool (int -> i1 by != 0)."""
+    """zext / sext / trunc / bool (int -> i1 by != 0).
 
-    def __init__(self, kind: str, operand: Value, to_ty: Type):
+    ``explicit`` distinguishes a cast the programmer wrote from an
+    implicit conversion the lowerer inserted; the width-truncation lint
+    only warns about the latter.
+    """
+
+    def __init__(self, kind: str, operand: Value, to_ty: Type, explicit: bool = False):
         if kind not in ("zext", "sext", "trunc", "bool"):
             raise IrError(f"unknown cast kind {kind!r}")
         super().__init__(to_ty, (operand,))
         self.kind = kind
+        self.explicit = explicit
 
     mnemonic = "cast"
 

@@ -39,6 +39,11 @@ from repro.ncl.types import (
 from repro.nir import ir
 
 
+#: What lenient lowering swallows: type errors plus the internal faults a
+#: poisoned (recovered-from-error) AST can trip inside the lowerer.
+_LOWERING_ERRORS = (NclTypeError, AssertionError, IndexError, KeyError)
+
+
 class _LoopFrame:
     def __init__(self, continue_block: ir.Block, break_block: ir.Block):
         self.continue_block = continue_block
@@ -66,10 +71,17 @@ class _Access:
 
 
 class ModuleLowerer:
-    """Lowers a whole analyzed translation unit to one NIR module."""
+    """Lowers a whole analyzed translation unit to one NIR module.
 
-    def __init__(self, unit: TranslationUnit, name: str = "ncl"):
+    With ``lenient=True`` (the linter's mode), a function or global that
+    fails to lower -- typically because semantic recovery left poisoned
+    constructs behind -- is dropped from the module instead of aborting,
+    so NIR-level analyses still run over everything that *did* lower.
+    """
+
+    def __init__(self, unit: TranslationUnit, name: str = "ncl", lenient: bool = False):
         self.unit = unit
+        self.lenient = lenient
         self.module = ir.Module(name)
         self.module.window_fields = list(unit.window_fields)
 
@@ -88,9 +100,17 @@ class ModuleLowerer:
         for name, info in self.unit.in_kernels.items():
             fn = self._make_function(info.decl, ir.FunctionKind.IN_KERNEL)
             self.module.add_function(fn)
+        # Helpers come first in insertion order, so a helper dropped here
+        # cascades: kernels calling it fail on "unknown function" and are
+        # dropped in turn rather than referencing a half-lowered callee.
         for fn_name in list(self.module.functions):
             decl = self._decl_for(fn_name)
-            FunctionLowerer(self, self.module.functions[fn_name], decl).lower()
+            try:
+                FunctionLowerer(self, self.module.functions[fn_name], decl).lower()
+            except _LOWERING_ERRORS:
+                if not self.lenient:
+                    raise
+                del self.module.functions[fn_name]
         return self.module
 
     def _kernel_reachable_helpers(self) -> "List[str]":
@@ -130,22 +150,27 @@ class ModuleLowerer:
         return self.unit.functions[name]
 
     def _lower_globals(self) -> None:
+        def add(name: str, gvar: ast.GlobalVar, space: str, with_init: bool) -> None:
+            at_label = gvar.at_label if space != "host" else None
+            try:
+                init = _flatten_init(gvar) if with_init else None
+                self.module.add_global(
+                    ir.GlobalRef(name, gvar.ty, space, at_label, init)
+                )
+            except _LOWERING_ERRORS:
+                if not self.lenient:
+                    raise
+
         for name, gvar in self.unit.net_globals.items():
-            self.module.add_global(
-                ir.GlobalRef(name, gvar.ty, "net", gvar.at_label, _flatten_init(gvar))
-            )
+            add(name, gvar, "net", True)
         for name, gvar in self.unit.ctrl_vars.items():
-            self.module.add_global(
-                ir.GlobalRef(name, gvar.ty, "ctrl", gvar.at_label, _flatten_init(gvar))
-            )
+            add(name, gvar, "ctrl", True)
         for name, gvar in self.unit.maps.items():
-            self.module.add_global(ir.GlobalRef(name, gvar.ty, "map", gvar.at_label))
+            add(name, gvar, "map", False)
         for name, gvar in self.unit.blooms.items():
-            self.module.add_global(ir.GlobalRef(name, gvar.ty, "bloom", gvar.at_label))
+            add(name, gvar, "bloom", False)
         for name, gvar in self.unit.host_globals.items():
-            self.module.add_global(
-                ir.GlobalRef(name, gvar.ty, "host", None, _flatten_init(gvar))
-            )
+            add(name, gvar, "host", True)
 
     def _make_function(self, decl: ast.FuncDecl, kind: ir.FunctionKind) -> ir.Function:
         params = [
@@ -164,12 +189,17 @@ class FunctionLowerer:
         self.block = fn.new_block("entry")
         self.env: Dict[str, Union[ir.Alloca, ir.Param]] = {}
         self.loops: List[_LoopFrame] = []
+        #: source location of the statement/expression being lowered;
+        #: every emitted instruction is stamped with it (Instr.loc).
+        self.cur_loc = None
         for param in fn.params:
             self.env[param.name] = param
 
     # -- emission helpers ---------------------------------------------------
 
     def emit(self, instr: ir.Instr) -> ir.Instr:
+        if instr.loc is None:
+            instr.loc = self.cur_loc
         return self.block.append(instr)
 
     def const(self, value: int, ty: Type = I32) -> ir.Const:
@@ -199,6 +229,8 @@ class FunctionLowerer:
     def lower_stmt(self, stmt: ast.Stmt) -> None:
         if self.block.terminator is not None:
             return  # dead code after return/break/continue
+        if getattr(stmt, "loc", None) is not None:
+            self.cur_loc = stmt.loc
         if isinstance(stmt, ast.Block):
             self.lower_block(stmt)
         elif isinstance(stmt, ast.DeclStmt):
@@ -304,6 +336,15 @@ class FunctionLowerer:
     # -- expressions ----------------------------------------------------------
 
     def lower_expr(self, expr: ast.Expr) -> ir.Value:
+        saved = self.cur_loc
+        if getattr(expr, "loc", None) is not None:
+            self.cur_loc = expr.loc
+        try:
+            return self._lower_expr_inner(expr)
+        finally:
+            self.cur_loc = saved
+
+    def _lower_expr_inner(self, expr: ast.Expr) -> ir.Value:
         if isinstance(expr, ast.IntLit):
             ty = expr.ty if expr.ty is not None else I32
             return ir.Const(ty, expr.value)
@@ -334,7 +375,10 @@ class FunctionLowerer:
         if isinstance(expr, ast.Cast):
             value = self.lower_expr(expr.operand)
             if expr.target.is_scalar:
-                return self.coerce(value, expr.target, expr.operand)
+                result = self.coerce(value, expr.target, expr.operand)
+                if isinstance(result, ir.Cast) and result is not value:
+                    result.explicit = True  # programmer-written cast
+                return result
             return value
         raise NclTypeError(f"cannot lower {type(expr).__name__}", expr.loc)
 
@@ -446,7 +490,7 @@ class FunctionLowerer:
         ty = expr.ty or common_type(lhs.ty, rhs.ty)
         lhs = self.coerce(lhs, ty, expr.lhs)
         rhs = self.coerce(rhs, ty, expr.rhs)
-        ir_op = _arith_op(op, ty)
+        ir_op = _arith_op(op, ty, expr.loc)
         return self.emit(ir.BinOp(ir_op, lhs, rhs, ty))
 
     def lower_compare(
@@ -484,7 +528,7 @@ class FunctionLowerer:
             old = self.load_access(access, expr.target)
             ty = access.elem_ty
             value = self.coerce(value, ty, expr.value)
-            ir_op = _arith_op(expr.op.rstrip("="), ty)
+            ir_op = _arith_op(expr.op.rstrip("="), ty, expr.loc)
             value = self.emit(ir.BinOp(ir_op, old, value, ty))
         self.store_access(access, value, expr)
         return value
@@ -791,7 +835,7 @@ class FunctionLowerer:
         return self.emit(ir.Cast(kind, value, to_ty))
 
 
-def _arith_op(op: str, ty: Type) -> str:
+def _arith_op(op: str, ty: Type, loc=None) -> str:
     signed = is_signed(ty) if ty.is_scalar else False
     table = {
         "+": "add",
@@ -806,7 +850,7 @@ def _arith_op(op: str, ty: Type) -> str:
         "^": "xor",
     }
     if op not in table:
-        raise NclTypeError(f"unknown arithmetic operator {op!r}", None)
+        raise NclTypeError(f"unknown arithmetic operator {op!r}", loc)
     return table[op]
 
 
@@ -869,6 +913,13 @@ def _prune_unreachable(fn: ir.Function) -> None:
     fn.blocks = [b for b in fn.blocks if b in reachable]
 
 
-def lower_unit(unit: TranslationUnit, name: str = "ncl") -> ir.Module:
-    """Lower an analyzed translation unit to a NIR module."""
-    return ModuleLowerer(unit, name).lower()
+def lower_unit(
+    unit: TranslationUnit, name: str = "ncl", lenient: bool = False
+) -> ir.Module:
+    """Lower an analyzed translation unit to a NIR module.
+
+    ``lenient=True`` drops functions/globals that fail to lower instead
+    of raising -- used by the linter after error recovery, so analyses
+    still see the parts of the program that are well-formed.
+    """
+    return ModuleLowerer(unit, name, lenient=lenient).lower()

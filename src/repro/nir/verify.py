@@ -39,6 +39,22 @@ def _verify_terminators(fn: ir.Function) -> None:
                     f"{fn.name}/{block.label}: terminator {instr.render()} "
                     "in the middle of a block"
                 )
+        # Every branch edge must target a block that is still part of this
+        # function -- a pass that removed a block but left a stale edge
+        # behind is reported here, by field, not at some later traversal.
+        if isinstance(term, ir.Br):
+            if term.target not in block_set:
+                raise IrError(
+                    f"{fn.name}/{block.label}: br targets {term.target.label!r}, "
+                    "which is not a block of this function"
+                )
+        elif isinstance(term, ir.CondBr):
+            for edge, target in (("then", term.then), ("else", term.other)):
+                if target not in block_set:
+                    raise IrError(
+                        f"{fn.name}/{block.label}: condbr {edge}-edge targets "
+                        f"{target.label!r}, which is not a block of this function"
+                    )
         for succ in block.successors():
             if succ not in block_set:
                 raise IrError(
@@ -63,6 +79,12 @@ def _verify_phis(fn: ir.Function) -> None:
                         f"{fn.name}/{block.label}: phi after non-phi instruction"
                     )
                 incoming_blocks = [b for _, b in instr.incoming]
+                if len(instr.incoming) != len(set(preds[block])):
+                    raise IrError(
+                        f"{fn.name}/{block.label}: phi %{instr.id} has "
+                        f"{len(instr.incoming)} incoming values but the block "
+                        f"has {len(set(preds[block]))} predecessors"
+                    )
                 if set(incoming_blocks) != set(preds[block]):
                     raise IrError(
                         f"{fn.name}/{block.label}: phi %{instr.id} incoming blocks "

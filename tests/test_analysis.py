@@ -1,0 +1,354 @@
+"""Per-rule positive/negative tests for the repro.analysis framework."""
+
+import pytest
+
+from repro.analysis import lint_source, rule_names, select_rules
+from repro.diag import Severity
+from repro.errors import IrError
+from repro.ncl.types import BOOL, I32, VOID
+from repro.nir import ir
+from repro.nir.verify import verify_function
+
+
+def lint(source, **kw):
+    return lint_source(source, "test.ncl", **kw)
+
+
+def codes(result):
+    return [d.code for d in result.sink.sorted()]
+
+
+def warnings_with(result, code):
+    return [d for d in result.sink.sorted() if d.code == code]
+
+
+class TestRuleSelection:
+    def test_all_rules_by_default(self):
+        assert [r.name for r in select_rules()] == rule_names()
+
+    def test_positive_selection(self):
+        assert [r.name for r in select_rules(["race"])] == ["race"]
+        picked = [r.name for r in select_rules(["dead-store", "race"])]
+        # registry order is preserved regardless of the spec order
+        assert set(picked) == {"race", "dead-store"}
+        assert picked == [n for n in rule_names() if n in picked]
+
+    def test_negative_selection(self):
+        names = [r.name for r in select_rules(["no-race"])]
+        assert "race" not in names
+        assert len(names) == len(rule_names()) - 1
+
+    def test_all_with_negatives(self):
+        names = [r.name for r in select_rules(["all", "no-overflow"])]
+        assert "overflow" not in names and "race" in names
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown analysis rule"):
+            select_rules(["not-a-rule"])
+        with pytest.raises(ValueError, match="unknown analysis rule"):
+            lint("_net_ _out_ void k(int *d) { d[0] = 1; }", rules=["nope"])
+
+
+class TestRaceDetector:
+    TWO_KERNELS = (
+        "_net_ unsigned c[4] = {0};\n"
+        "_net_ _out_ void a(unsigned k) { c[k & 3] += 1; }\n"
+        "_net_ _out_ void b(unsigned k) { c[k & 3] += 1; }\n"
+    )
+
+    def test_two_unpinned_kernels_race(self):
+        result = lint(self.TWO_KERNELS, rules=["race"])
+        races = warnings_with(result, "NCL0701")
+        assert len(races) == 1
+        # both conflicting sites: a primary plus at least one secondary span
+        assert races[0].primary is not None
+        assert len(races[0].secondary) >= 1
+        assert "'c'" in races[0].message
+
+    def test_single_kernel_is_not_a_race(self):
+        src = (
+            "_net_ unsigned c[4] = {0};\n"
+            "_net_ _out_ void a(unsigned k) { c[k & 3] += 1; }\n"
+        )
+        assert codes(lint(src, rules=["race"])) == []
+
+    def test_pinned_symbol_serializes_unpinned_kernels(self):
+        src = self.TWO_KERNELS.replace(
+            "_net_ unsigned", '_net_ _at_("s1") unsigned'
+        )
+        assert codes(lint(src, rules=["race"])) == []
+
+    def test_kernel_pinned_elsewhere_still_races(self):
+        src = (
+            '_net_ _at_("s1") unsigned c[4] = {0};\n'
+            "_net_ _out_ void a(unsigned k) { c[k & 3] += 1; }\n"
+            '_net_ _out_ _at_("s2") void b(unsigned k) { c[k & 3] += 1; }\n'
+        )
+        races = warnings_with(lint(src, rules=["race"]), "NCL0701")
+        assert len(races) == 1
+
+    def test_host_write_vs_kernel_read_on_map(self):
+        src = (
+            "_net_ ncl::Map<unsigned, unsigned, 64> Hot;\n"
+            "_net_ _out_ void k(unsigned key) {\n"
+            "  if (auto *h = Hot[key]) { if (*h) _drop(); }\n"
+            "}\n"
+            "int main() { ncl::map_insert(Hot, 1, 1); return 0; }\n"
+        )
+        result = lint(src, rules=["race"])
+        races = warnings_with(result, "NCL0701")
+        assert len(races) == 1
+        joined = races[0].message + " ".join(
+            s.label or "" for s in races[0].secondary
+        ) + " ".join(races[0].notes)
+        assert "host" in joined or "control" in joined
+
+    def test_quickstart_ctrl_pattern_is_clean(self):
+        src = (
+            '_net_ _at_("s1") _ctrl_ int threshold;\n'
+            "_net_ _out_ void k(int *d) { if (d[0] > threshold) _drop(); }\n"
+            "int main() { ncl::ctrl_wr(&threshold, 7); return 0; }\n"
+        )
+        assert codes(lint(src, rules=["race"])) == []
+
+    def test_race_through_helper_call(self):
+        src = (
+            "_net_ unsigned c[4] = {0};\n"
+            "void bump(unsigned k) { c[k & 3] += 1; }\n"
+            "_net_ _out_ void a(unsigned k) { bump(k); }\n"
+            "_net_ _out_ void b(unsigned k) { bump(k); }\n"
+        )
+        races = warnings_with(lint(src, rules=["race"]), "NCL0701")
+        assert len(races) == 1
+
+
+class TestDefUseRules:
+    def test_uninit_read(self):
+        src = (
+            "_net_ _out_ void k(unsigned key, int *d) {\n"
+            "  int x;\n"
+            "  if (key & 1) x = d[0];\n"
+            "  d[1] = x;\n"
+            "}\n"
+        )
+        found = warnings_with(lint(src, rules=["uninit-read"]), "NCL0702")
+        assert len(found) == 1 and "'x'" in found[0].message
+
+    def test_uninit_read_negative(self):
+        src = "_net_ _out_ void k(int *d) { int x = 0; d[1] = x; }"
+        assert codes(lint(src, rules=["uninit-read"])) == []
+
+    def test_dead_store(self):
+        src = (
+            "_net_ _out_ void k(int *d) {\n"
+            "  int h = 0;\n"
+            "  h = d[0];\n"
+            "  d[1] = h;\n"
+            "}\n"
+        )
+        found = warnings_with(lint(src, rules=["dead-store"]), "NCL0703")
+        assert len(found) == 1
+
+    def test_dead_store_negative(self):
+        src = "_net_ _out_ void k(int *d) { int h = 0; d[1] = h; }"
+        assert codes(lint(src, rules=["dead-store"])) == []
+
+    def test_unreachable_after_return(self):
+        src = (
+            "_net_ _out_ void k(int *d) {\n"
+            "  if (d[0]) { return; d[1] = 1; }\n"
+            "  d[2] = 2;\n"
+            "}\n"
+        )
+        found = warnings_with(lint(src, rules=["unreachable-code"]), "NCL0704")
+        assert len(found) == 1
+
+    def test_reachable_code_is_clean(self):
+        src = "_net_ _out_ void k(int *d) { if (d[0]) return; d[2] = 2; }"
+        assert codes(lint(src, rules=["unreachable-code"])) == []
+
+    def test_unbounded_loop(self):
+        src = "_net_ _out_ void k(int *d) { while (1) { d[0] += 1; } }"
+        found = warnings_with(lint(src, rules=["unbounded-loop"]), "NCL0705")
+        assert len(found) == 1
+
+    def test_loop_with_break_is_bounded(self):
+        src = (
+            "_net_ _out_ void k(int *d) {\n"
+            "  while (1) { if (d[0]) break; d[0] += 1; }\n"
+            "}\n"
+        )
+        assert codes(lint(src, rules=["unbounded-loop"])) == []
+
+    def test_host_loops_are_not_flagged(self):
+        src = (
+            "_net_ _out_ void k(int *d) { d[0] = 1; }\n"
+            "int main() { while (1) { } return 0; }\n"
+        )
+        assert codes(lint(src, rules=["unbounded-loop"])) == []
+
+
+class TestArithmeticRules:
+    def test_implicit_truncation(self):
+        src = "_net_ _out_ void k(int *d) { short s = d[0]; d[1] = s; }"
+        found = warnings_with(lint(src, rules=["width-truncation"]), "NCL0801")
+        assert len(found) == 1
+        assert "32" in found[0].message and "16" in found[0].message
+
+    def test_explicit_cast_is_clean(self):
+        src = "_net_ _out_ void k(int *d) { short s = (short)d[0]; d[1] = s; }"
+        assert codes(lint(src, rules=["width-truncation"])) == []
+
+    def test_shift_out_of_range(self):
+        src = "_net_ _out_ void k(int *d) { d[0] = d[1] << 40; }"
+        found = warnings_with(lint(src, rules=["overflow"]), "NCL0802")
+        assert len(found) == 1
+
+    def test_shift_in_range_is_clean(self):
+        src = "_net_ _out_ void k(int *d) { d[0] = d[1] << 3; }"
+        assert codes(lint(src, rules=["overflow"])) == []
+
+    def test_constant_overflow(self):
+        src = "_net_ _out_ void k(int *d) { d[0] = 2000000000 + 2000000000; }"
+        found = warnings_with(lint(src, rules=["overflow"]), "NCL0803")
+        assert len(found) == 1
+
+
+class TestUsageRules:
+    def test_unused_out_kernel(self):
+        src = (
+            "_net_ _out_ void used(int *d) { d[0] = 1; }\n"
+            "_net_ _out_ void lonely(int *d) { d[0] = 1; }\n"
+            "int main() { ncl::out(used, {0}); return 0; }\n"
+        )
+        found = warnings_with(lint(src, rules=["unused-kernel"]), "NCL0901")
+        assert len(found) == 1 and "lonely" in found[0].message
+
+    def test_no_host_code_means_no_usage_verdict(self):
+        src = "_net_ _out_ void lonely(int *d) { d[0] = 1; }"
+        assert codes(lint(src, rules=["unused-kernel"])) == []
+
+    def test_unused_window_field(self):
+        src = (
+            "struct window { unsigned tag; };\n"
+            "_net_ _out_ void k(int *d) { d[0] = 1; }\n"
+        )
+        found = warnings_with(
+            lint(src, rules=["unused-window-field"]), "NCL0903"
+        )
+        assert len(found) == 1 and "tag" in found[0].message
+
+    def test_read_window_field_is_clean(self):
+        src = (
+            "struct window { unsigned tag; };\n"
+            "_net_ _out_ void k(int *d) { d[0] = window.tag; }\n"
+        )
+        assert codes(lint(src, rules=["unused-window-field"])) == []
+
+
+class TestPisaResourceRule:
+    TWO_ACCESSES = (
+        '_net_ _at_("s1") unsigned c[4] = {0};\n'
+        "_net_ _out_ void k(unsigned key) { c[0] = c[1] + 1; }\n"
+    )
+
+    def test_register_access_budget_tofino(self):
+        result = lint(
+            self.TWO_ACCESSES, profile="tofino-like", rules=["pisa-resources"]
+        )
+        found = warnings_with(result, "NCL0611")
+        assert len(found) == 1 and "'c'" in found[0].message
+
+    def test_register_access_budget_bmv2(self):
+        assert codes(lint(self.TWO_ACCESSES, rules=["pisa-resources"])) == []
+
+    def test_multiply_without_mul_support(self):
+        src = "_net_ _out_ void k(int *d) { d[0] = d[1] * d[2]; }"
+        result = lint(src, profile="tofino-like", rules=["pisa-resources"])
+        assert [d.code for d in result.sink.sorted()] == ["NCL0610"]
+
+    def test_power_of_two_multiply_is_fine(self):
+        src = "_net_ _out_ void k(int *d) { d[0] = d[1] * 8; }"
+        result = lint(src, profile="tofino-like", rules=["pisa-resources"])
+        assert codes(result) == []
+
+
+class TestErrorRecovery:
+    def test_three_sema_errors_reported_together(self):
+        src = (
+            "_net_ ncl::Map<unsigned, unsigned, 64> M;\n"
+            "_net_ _out_ void k(int *d) { d[0] = nope; }\n"
+            "_net_ _out_ void j(int *d) { d[0] = alsonope; }\n"
+        )
+        result = lint(src)
+        errors = [
+            d for d in result.sink.sorted() if d.severity is Severity.ERROR
+        ]
+        assert len(errors) >= 3
+        for diag in errors:
+            assert diag.code.startswith("NCL")
+            assert diag.primary is not None
+
+    def test_broken_kernel_dropped_healthy_kernel_analyzed(self):
+        src = (
+            "_net_ _out_ void bad(int *d) { d[0] = nope; }\n"
+            "_net_ _out_ void good(int *d) { int h = 0; h = d[0]; d[1] = h; }\n"
+        )
+        result = lint(src, rules=["dead-store"])
+        assert result.module is not None
+        assert "good" in result.module.functions
+        assert "bad" not in result.module.functions
+        assert len(warnings_with(result, "NCL0703")) == 1
+
+    def test_syntax_error_is_a_single_diagnostic(self):
+        result = lint("_net_ _out_ void k(int *d) {")
+        assert len(result.sink) == 1
+        assert result.sink.sorted()[0].code == "NCL0101"
+
+    def test_werror_promotes(self):
+        src = "_net_ _out_ void k(int *d) { int h = 0; h = d[0]; d[1] = h; }"
+        result = lint(src, rules=["dead-store"], werror=True)
+        assert result.sink.has_errors and result.exit_code == 1
+
+
+class TestVerifierTargets:
+    """The branch-target and phi-arity verifier checks (satellite)."""
+
+    def test_br_to_foreign_block(self):
+        fn = ir.Function("f", ir.FunctionKind.HELPER, [], VOID)
+        entry = fn.new_block("entry")
+        other = ir.Function("g", ir.FunctionKind.HELPER, [], VOID)
+        foreign = other.new_block("elsewhere")
+        entry.append(ir.Br(foreign))
+        with pytest.raises(IrError, match="br targets 'elsewhere"):
+            verify_function(fn)
+
+    def test_condbr_edge_to_foreign_block(self):
+        fn = ir.Function("f", ir.FunctionKind.HELPER, [], VOID)
+        entry = fn.new_block("entry")
+        local = fn.new_block("local")
+        local.append(ir.Ret())
+        other = ir.Function("g", ir.FunctionKind.HELPER, [], VOID)
+        foreign = other.new_block("elsewhere")
+        cond = entry.append(ir.Cast("bool", ir.Const(I32, 1), BOOL))
+        entry.append(ir.CondBr(cond, foreign, local))
+        with pytest.raises(IrError, match="condbr then-edge targets"):
+            verify_function(fn)
+
+    def test_phi_arity_mismatch(self):
+        fn = ir.Function("f", ir.FunctionKind.HELPER, [], VOID)
+        entry = fn.new_block("entry")
+        left = fn.new_block("left")
+        join = fn.new_block("join")
+        cond = entry.append(ir.Cast("bool", ir.Const(I32, 1), BOOL))
+        entry.append(ir.CondBr(cond, left, join))
+        left.append(ir.Br(join))
+        phi = ir.Phi(I32)
+        phi.incoming.append((ir.Const(I32, 1), left))
+        phi.block = join
+        join.instrs.insert(0, phi)  # one incoming, two predecessors
+        join.append(ir.Ret())
+        with pytest.raises(
+            IrError, match="incoming values but the block has 2 predecessors"
+        ):
+            verify_function(fn)

@@ -1,0 +1,174 @@
+"""Tests for the repro.diag diagnostics engine (sink, render, export)."""
+
+import json
+
+from repro.diag import (
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+    Span,
+    diagnostic_from_error,
+)
+from repro.diag.export import SCHEMA, export_dict, findings_by_code, render_json
+from repro.diag.render import SourceMap, render_diagnostic, render_text
+from repro.errors import NclSyntaxError, NclTypeError, SourceLocation
+
+
+def loc(line, col, filename="demo.ncl"):
+    return SourceLocation(filename, line, col)
+
+
+class TestSinkBasics:
+    def test_counts_and_flags(self):
+        sink = DiagnosticSink()
+        sink.error("NCL0400", "bad type", loc(1, 1))
+        sink.warning("NCL0703", "dead store", loc(2, 3))
+        sink.note("NCL0001", "fyi")
+        assert len(sink) == 3
+        assert sink.count(Severity.ERROR) == 1
+        assert sink.count(Severity.WARNING) == 1
+        assert sink.count(Severity.NOTE) == 1
+        assert sink.has_errors and sink.has_warnings
+
+    def test_promote_warnings_counts(self):
+        sink = DiagnosticSink()
+        sink.warning("NCL0703", "w1", loc(1, 1))
+        sink.warning("NCL0703", "w2", loc(2, 1))
+        sink.note("NCL0001", "n")
+        assert sink.promote_warnings() == 2
+        assert sink.count(Severity.ERROR) == 2
+        assert not sink.has_warnings
+
+    def test_sorted_is_source_order_then_severity(self):
+        sink = DiagnosticSink()
+        sink.warning("NCL0703", "later line", loc(5, 1))
+        sink.error("NCL0400", "early line", loc(2, 1))
+        sink.warning("NCL0701", "same spot warning", loc(2, 1))
+        out = [d.message for d in sink.sorted()]
+        # line 2 first; at the same location errors outrank warnings.
+        assert out == ["early line", "same spot warning", "later line"]
+
+    def test_extend(self):
+        a, b = DiagnosticSink(), DiagnosticSink()
+        a.error("NCL0400", "x", loc(1, 1))
+        b.extend(a)
+        assert len(b) == 1
+
+
+class TestFromError:
+    def test_default_code_from_class(self):
+        diag = diagnostic_from_error(NclSyntaxError("bad token", loc(3, 7)))
+        assert diag.code == "NCL0101"
+        assert diag.severity is Severity.ERROR
+        assert (diag.primary.line, diag.primary.column) == (3, 7)
+
+    def test_explicit_code_and_length(self):
+        exc = NclTypeError("no such name", loc(1, 5), code="NCL0404", length=4)
+        diag = diagnostic_from_error(exc)
+        assert diag.code == "NCL0404"
+        assert diag.primary.length == 4
+
+    def test_locless_error_has_no_span(self):
+        diag = diagnostic_from_error(NclTypeError("somewhere"))
+        assert diag.primary is None
+
+
+class TestRender:
+    SOURCE = "int x;\nx = foo + 1;\n"
+
+    def test_caret_excerpt(self):
+        diag = Diagnostic(
+            Severity.ERROR,
+            "NCL0404",
+            "use of undeclared identifier 'foo'",
+            primary=Span(loc(2, 5), 3),
+        )
+        text = render_diagnostic(diag, SourceMap({"demo.ncl": self.SOURCE}))
+        assert text == (
+            "error[NCL0404]: use of undeclared identifier 'foo'\n"
+            "  --> demo.ncl:2:5\n"
+            "  |\n"
+            "2 | x = foo + 1;\n"
+            "  |     ^^^"
+        )
+
+    def test_secondary_span_and_note(self):
+        diag = Diagnostic(
+            Severity.WARNING,
+            "NCL0701",
+            "possible race",
+            primary=Span(loc(1, 1), 3),
+            secondary=[Span(loc(2, 1), 1, "second site")],
+            notes=["a note"],
+            fixit="pin it",
+        )
+        text = render_diagnostic(diag, SourceMap({"demo.ncl": self.SOURCE}))
+        assert "- second site" in text
+        assert "  = note: a note" in text
+        assert "  = help: pin it" in text
+
+    def test_summary_line(self):
+        sink = DiagnosticSink()
+        sink.error("NCL0400", "e", loc(1, 1))
+        sink.warning("NCL0703", "w", loc(2, 1))
+        text = render_text(sink, {"demo.ncl": self.SOURCE})
+        assert text.rstrip().endswith("1 error and 1 warning generated")
+        empty = render_text(DiagnosticSink(), {})
+        assert empty.strip() == "no diagnostics"
+
+    def test_render_is_deterministic(self):
+        def build():
+            sink = DiagnosticSink()
+            sink.warning("NCL0703", "w", loc(2, 1))
+            sink.error("NCL0400", "e", loc(1, 1))
+            return render_text(sink, {"demo.ncl": self.SOURCE})
+
+        assert build() == build()
+
+
+class TestExport:
+    def make_sink(self):
+        sink = DiagnosticSink()
+        sink.error("NCL0400", "bad", loc(1, 2), length=3, rule="sema")
+        sink.warning(
+            "NCL0701",
+            "race",
+            loc(4, 1),
+            secondary=[Span(loc(9, 3), 2, "other site")],
+            notes=["n1"],
+            fixit="do this",
+            rule="race",
+        )
+        return sink
+
+    def test_schema_and_summary(self):
+        data = export_dict(self.make_sink())
+        assert data["schema"] == SCHEMA == "repro.diag/1"
+        assert data["summary"] == {"errors": 1, "warnings": 1, "notes": 0}
+        first = data["diagnostics"][0]
+        assert first["code"] == "NCL0400"
+        assert first["primary"] == {
+            "file": "demo.ncl",
+            "line": 1,
+            "column": 2,
+            "length": 3,
+        }
+
+    def test_secondary_and_fixit_round_trip(self):
+        data = export_dict(self.make_sink())
+        race = data["diagnostics"][1]
+        assert race["secondary"][0]["label"] == "other site"
+        assert race["fixit"] == "do this"
+        assert race["rule"] == "race"
+
+    def test_json_byte_deterministic(self):
+        a = render_json(self.make_sink())
+        b = render_json(self.make_sink())
+        assert a == b
+        assert a.endswith("\n")
+        json.loads(a)  # valid JSON
+
+    def test_findings_by_code(self):
+        grouped = findings_by_code(self.make_sink())
+        assert set(grouped) == {"NCL0400", "NCL0701"}
+        assert len(grouped["NCL0701"]) == 1
