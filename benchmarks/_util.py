@@ -59,6 +59,28 @@ def maybe_obs():
     return Observability(int_config=int_cfg)
 
 
+def maybe_artifact(program, name: str):
+    """Round-trip *program* through its ``repro.nclc/1`` artifact when
+    ``REPRO_ARTIFACT`` is set, so the benchmark drives a precompiled
+    program exactly the way a deployment loading artifacts would.
+
+    ``REPRO_ARTIFACT=1`` round-trips in memory; any other value names a
+    directory where ``<name>.nclc.json`` is saved and loaded back. Unset
+    (the default) returns *program* untouched -- zero overhead."""
+    mode = os.environ.get("REPRO_ARTIFACT")
+    if not mode:
+        return program
+    from repro.nclc.driver import CompiledProgram
+
+    if mode == "1":
+        return CompiledProgram.from_json(program.to_json())
+    outdir = Path(mode)
+    outdir.mkdir(parents=True, exist_ok=True)
+    path = outdir / f"{name}.nclc.json"
+    program.save(path)
+    return CompiledProgram.load(path)
+
+
 def registry_snapshot(network, obs=None) -> dict:
     """A metrics-registry snapshot of *network*, whether or not the run
     was traced: the registry's collectors read the always-on component

@@ -21,6 +21,7 @@ from repro.baselines.host_allreduce import ParameterServerAllReduce, RingAllRedu
 
 from benchmarks._util import (
     lineage_summary,
+    maybe_artifact,
     maybe_obs,
     print_table,
     record_once,
@@ -35,7 +36,13 @@ def one_round(n_workers: int, data_len: int, obs=None):
     arrays = random_arrays(n_workers, data_len, seed=n_workers)
     expected = AllReduceJob.expected(arrays)
 
-    inc = AllReduceJob(n_workers, data_len, WINDOW, obs=obs)
+    # With REPRO_ARTIFACT set, the job runs a program round-tripped
+    # through the repro.nclc/1 artifact instead of the in-process one.
+    program = maybe_artifact(
+        AllReduceJob.compile_program(n_workers, data_len, WINDOW),
+        f"fig4_allreduce_w{n_workers}",
+    )
+    inc = AllReduceJob(n_workers, data_len, WINDOW, obs=obs, program=program)
     inc_res, inc_t = inc.run_round(arrays)
     assert inc_res[0] == expected
 

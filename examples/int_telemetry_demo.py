@@ -15,8 +15,14 @@ stacks, and the lineage index folds them into a causal story per window.
 The demo prints that story -- emit, both hops, delivery -- for one
 heavy-hitter window, then saves the trace + lineage for the offline CLI.
 
-Run:  python examples/int_telemetry_demo.py
+Run:  python examples/int_telemetry_demo.py [output-dir]
+
+Outputs land in *output-dir* (default ``int_telemetry_out/``), which is
+gitignored -- demo runs never dirty the repo.
 """
+
+import sys
+from pathlib import Path
 
 from repro.apps.telemetry import TelemetryCluster
 from repro.obs import IntConfig, Observability
@@ -27,7 +33,7 @@ HH_THRESHOLD = 3
 HEAVY_SENDS = 6
 
 
-def main() -> None:
+def main(outdir: str = "int_telemetry_out") -> None:
     obs = Observability(int_config=IntConfig(max_hops=4))
     cluster = TelemetryCluster(
         n_senders=2, slots=16, hh_threshold=HH_THRESHOLD, obs=obs
@@ -49,7 +55,10 @@ def main() -> None:
     print("== lineage of one heavy-hitter window ==")
     print(index.explain("monitor", HEAVY_SENDS - 1))
 
-    trace_path, lineage_path = "int_telemetry.trace.jsonl", "int_telemetry.lineage.json"
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = out / "int_telemetry.trace.jsonl"
+    lineage_path = out / "int_telemetry.lineage.json"
     with open(trace_path, "w") as fp:
         obs.tracer.write_jsonl(fp)
     with open(lineage_path, "w") as fp:
@@ -65,4 +74,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(*sys.argv[1:2])

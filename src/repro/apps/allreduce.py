@@ -98,14 +98,42 @@ class AllReduceJob:
         latency: float = 1e-6,
         loss: float = 0.0,
         obs=None,
+        program=None,
     ):
         if data_len % window_len != 0:
             raise RuntimeApiError("data_len must be a multiple of window_len")
         self.n_workers = n_workers
         self.data_len = data_len
         self.window_len = window_len
+        # A precompiled program (e.g. one loaded from a repro.nclc/1
+        # artifact via CompiledProgram.load) skips the compiler entirely.
+        self.program = program or self.compile_program(
+            n_workers,
+            data_len,
+            window_len,
+            multiround=multiround,
+            profile=profile,
+        )
+        self.cluster = Cluster.from_program(
+            self.program, bandwidth=bandwidth, latency=latency, loss=loss, obs=obs
+        )
+        self.cluster.controller.ctrl_wr("nworkers", n_workers)
+
+    @staticmethod
+    def compile_program(
+        n_workers: int,
+        data_len: int,
+        window_len: int = 8,
+        multiround: bool = True,
+        profile: Optional[str] = None,
+        opt_level: int = 2,
+        cache=None,
+    ):
+        """The Fig 4 :class:`~repro.nclc.driver.CompiledProgram`, standalone
+        -- save it as an artifact and feed it back via ``program=``."""
         source = ALLREDUCE_MULTIROUND_NCL if multiround else ALLREDUCE_NCL
-        self.program = Compiler(profile=profile).compile(
+        compiler = Compiler(profile=profile, opt_level=opt_level, cache=cache)
+        return compiler.compile(
             source,
             and_text=star_and(n_workers),
             windows={
@@ -113,10 +141,6 @@ class AllReduceJob:
             },
             defines={"DATA_LEN": data_len, "WIN_LEN": window_len},
         )
-        self.cluster = Cluster.from_program(
-            self.program, bandwidth=bandwidth, latency=latency, loss=loss, obs=obs
-        )
-        self.cluster.controller.ctrl_wr("nworkers", n_workers)
 
     def run_round(
         self, worker_arrays: Sequence[Sequence[int]]

@@ -97,22 +97,17 @@ class KvsCluster:
         bandwidth: float = 10e9,
         latency: float = 5e-6,
         server_delay: float = 50e-6,
+        program=None,
     ):
         self.n_clients = n_clients
         self.cache_size = cache_size
         self.val_words = val_words
         self.server_delay = server_delay
-        and_text = kvs_and(n_clients)
         server_id = n_clients  # AND ids assign in declaration order
-        self.program = Compiler(profile=profile).compile(
-            KVS_NCL,
-            and_text=and_text,
-            windows={"query": WindowConfig(mask=(1, val_words, 1))},
-            defines={
-                "CACHE_SIZE": cache_size,
-                "VAL_WORDS": val_words,
-                "SERVER": server_id,
-            },
+        # A precompiled program (e.g. loaded from a repro.nclc/1
+        # artifact) skips the compiler entirely.
+        self.program = program or self.compile_program(
+            n_clients, cache_size, val_words, profile=profile
         )
         self.cluster = Cluster.from_program(
             self.program, bandwidth=bandwidth, latency=latency
@@ -133,6 +128,29 @@ class KvsCluster:
         self.server.on_raw_window("query", self._server_window)
         for i, client in enumerate(self.clients):
             client.on_raw_window("query", self._make_client_handler(i))
+
+    @staticmethod
+    def compile_program(
+        n_clients: int = 1,
+        cache_size: int = 256,
+        val_words: int = 8,
+        profile: Optional[str] = None,
+        opt_level: int = 2,
+        cache=None,
+    ):
+        """The Fig 5 :class:`~repro.nclc.driver.CompiledProgram`, standalone
+        -- save it as an artifact and feed it back via ``program=``."""
+        compiler = Compiler(profile=profile, opt_level=opt_level, cache=cache)
+        return compiler.compile(
+            KVS_NCL,
+            and_text=kvs_and(n_clients),
+            windows={"query": WindowConfig(mask=(1, val_words, 1))},
+            defines={
+                "CACHE_SIZE": cache_size,
+                "VAL_WORDS": val_words,
+                "SERVER": n_clients,
+            },
+        )
 
     # -- cache management (control plane + server updates) --------------------
 

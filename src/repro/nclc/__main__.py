@@ -2,9 +2,17 @@
 
 Compile an NCL program and emit the per-switch P4 artifacts::
 
-    python -m repro.nclc program.ncl --and overlay.and -o build/
-    python -m repro.nclc program.ncl --profile tofino-like \
+    python -m repro.nclc build program.ncl --and overlay.and -o build/
+    python -m repro.nclc build program.ncl --profile tofino-like -O1 \
         --window 'kernel=8' --ext 'len=8' -D DATA_LEN=512 -D WIN_LEN=8
+
+(``build`` is the default subcommand -- a bare source path works too.)
+``--emit`` selects the output: the parse tree (``ast``), the optimized
+per-switch NIR (``nir``), per-switch P4 + acceptance reports (``p4``,
+the default), or one serialized ``repro.nclc/1`` artifact (``artifact``)
+that :meth:`repro.nclc.driver.CompiledProgram.load` turns back into a
+runnable program. ``--cache DIR`` keeps a content-addressed artifact
+cache there so unchanged rebuilds are near-instant.
 
 Or run static analysis only (multi-error recovery, the race detector,
 PISA-resource explanations -- see :mod:`repro.nclc.lint`)::
@@ -19,82 +27,30 @@ loop of the paper's S6, on the command line.
 
 from __future__ import annotations
 
-import argparse
 import json
 import sys
 from pathlib import Path
 
 from repro.errors import BackendRejection, ConformanceError, NclError, ReproError
+from repro.nclc import cli
 from repro.nclc.driver import Compiler, WindowConfig
 
-
-def parse_kv(pairs, cast=int):
-    out = {}
-    for pair in pairs or []:
-        if "=" not in pair:
-            raise SystemExit(f"expected NAME=VALUE, got {pair!r}")
-        name, _, value = pair.partition("=")
-        out[name.strip()] = cast(value)
-    return out
+# re-exported for callers that imported these from here historically
+build_parser = cli.build_parser
+parse_kv = cli.parse_kv
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="nclc", description="NCL compiler (NCL -> P4 for PISA switches)"
-    )
-    parser.add_argument("source", help="NCL source file")
-    parser.add_argument("--and", dest="and_file", help="AND overlay file")
-    parser.add_argument(
-        "-o", "--output", default=".", help="output directory (default: cwd)"
-    )
-    parser.add_argument(
-        "--profile",
-        default="bmv2",
-        help="target chip profile: bmv2 | tofino-like (default: bmv2)",
-    )
-    parser.add_argument(
-        "-D",
-        dest="defines",
-        action="append",
-        metavar="NAME=VALUE",
-        help="constant definition (repeatable)",
-    )
-    parser.add_argument(
-        "--window",
-        dest="windows",
-        action="append",
-        metavar="KERNEL=N[,N...]",
-        help="window mask for an outgoing kernel (repeatable)",
-    )
-    parser.add_argument(
-        "--ext",
-        dest="exts",
-        action="append",
-        metavar="FIELD=VALUE",
-        help="window extension field value (applies to all kernels)",
-    )
-    parser.add_argument(
-        "--no-split",
-        action="store_true",
-        help="disable the register-array splitting transformation",
-    )
-    parser.add_argument(
-        "--dump-ir",
-        action="store_true",
-        help="print the optimized switch IR instead of writing artifacts",
-    )
-    parser.add_argument(
-        "--timing",
-        action="store_true",
-        help="print per-stage and per-pass wall time with IR-size deltas",
-    )
-    parser.add_argument(
-        "--trace-out",
-        metavar="FILE",
-        help="write the compile timeline as Chrome trace-event JSON "
-        "(open in chrome://tracing or Perfetto)",
-    )
-    return parser
+def _emit_ast(args) -> int:
+    """``--emit ast``: frontend only -- tokenize, parse, print the tree."""
+    from repro.ncl.lexer import tokenize
+    from repro.ncl.parser import Parser
+
+    source = Path(args.source).read_text()
+    defines = cli.parse_kv(args.defines)
+    tokens = tokenize(source, args.source, defines or None)
+    program = Parser(tokens).parse_program()
+    print(cli.dump_ast(program))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -103,11 +59,28 @@ def main(argv=None) -> int:
         from repro.nclc.lint import main as lint_main
 
         return lint_main(argv[1:])
-    args = build_parser().parse_args(argv)
+    if argv and argv[0] == "build":
+        argv = argv[1:]
+    args = cli.build_parser().parse_args(argv)
+    try:
+        return run_build(args)
+    except cli.UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def run_build(args) -> int:
+    if args.emit == "ast":
+        try:
+            return _emit_ast(args)
+        except (NclError, ReproError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
     source = Path(args.source).read_text()
-    and_text = Path(args.and_file).read_text() if args.and_file else None
-    defines = parse_kv(args.defines)
-    ext = parse_kv(args.exts)
+    and_text = cli.read_and_text(args)
+    defines = cli.parse_kv(args.defines)
+    ext = cli.parse_kv(args.exts)
 
     windows = {}
     for spec in args.windows or []:
@@ -115,9 +88,17 @@ def main(argv=None) -> int:
         mask = tuple(int(m) for m in mask_text.split(","))
         windows[kernel.strip()] = WindowConfig(mask=mask, ext=ext)
 
+    cache = None
+    if args.cache:
+        from repro.nclc.cache import ArtifactCache
+
+        cache = ArtifactCache(root=args.cache)
+
     compiler = Compiler(
         profile=args.profile,
         split_arrays=False if args.no_split else "auto",
+        opt_level=args.opt_level,
+        cache=cache,
     )
     trace = None
     if args.timing or args.trace_out:
@@ -158,6 +139,12 @@ def main(argv=None) -> int:
             with open(out, "w") as fp:
                 trace.write_chrome(fp)
 
+    if args.emit == "nir":
+        for label, module in program.switch_modules.items():
+            print(f"; ===== switch {label} (optimized NIR, -O{args.opt_level}) =====")
+            print(module.render())
+        return 0
+
     if args.dump_ir:
         for label, p4 in program.switch_programs.items():
             print(f"// ===== switch {label} =====")
@@ -165,6 +152,14 @@ def main(argv=None) -> int:
         return 0
 
     outdir = Path(args.output)
+
+    if args.emit == "artifact":
+        outdir.mkdir(parents=True, exist_ok=True)
+        artifact_path = outdir / (Path(args.source).stem + ".nclc.json")
+        program.save(artifact_path)
+        print(f"artifact: repro.nclc/1 (-O{program.opt_level}) -> {artifact_path}")
+        return 0
+
     outdir.mkdir(parents=True, exist_ok=True)
     for label, p4_text in program.switch_sources.items():
         p4_path = outdir / f"{label}.p4"

@@ -1,0 +1,167 @@
+"""Shared command-line plumbing for the nclc subcommands.
+
+``python -m repro.nclc build`` (the default) and ``python -m repro.nclc
+lint`` historically each built their own ``argparse`` parser and
+duplicated the ``--and`` / ``-D`` / ``--profile`` handling; both now get
+those from :func:`add_common_args` and the value parsing from the
+helpers here, so a flag behaves identically in every subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Dict, Optional
+
+
+class UsageError(Exception):
+    """Bad command-line input (malformed ``-D``, unreadable ``--and``
+    file). Subcommand mains catch it, print ``error: ...``, and exit 2."""
+
+
+def parse_kv(pairs, cast=int) -> Dict[str, int]:
+    """Parse repeated ``NAME=VALUE`` options (``-D``, ``--ext``)."""
+    out = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise UsageError(f"expected NAME=VALUE, got {pair!r}")
+        name, _, value = pair.partition("=")
+        try:
+            out[name.strip()] = cast(value)
+        except ValueError:
+            raise UsageError(f"bad value in {pair!r}")
+    return out
+
+
+def add_common_args(parser: argparse.ArgumentParser) -> None:
+    """Options every nclc subcommand understands the same way."""
+    parser.add_argument(
+        "--profile",
+        default="bmv2",
+        help="target chip profile: bmv2 | tofino-like (default: bmv2)",
+    )
+    parser.add_argument("--and", dest="and_file", help="AND overlay file")
+    parser.add_argument(
+        "-D",
+        dest="defines",
+        action="append",
+        metavar="NAME=VALUE",
+        help="constant definition (repeatable)",
+    )
+
+
+def read_and_text(args) -> Optional[str]:
+    """The AND overlay text named by ``--and``, or None."""
+    if not args.and_file:
+        return None
+    try:
+        return Path(args.and_file).read_text()
+    except OSError as exc:
+        raise UsageError(f"cannot read AND file: {exc}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``nclc build`` parser (also the bare ``nclc <src>`` form)."""
+    parser = argparse.ArgumentParser(
+        prog="nclc", description="NCL compiler (NCL -> P4 for PISA switches)"
+    )
+    parser.add_argument("source", help="NCL source file")
+    add_common_args(parser)
+    parser.add_argument(
+        "-o", "--output", default=".", help="output directory (default: cwd)"
+    )
+    parser.add_argument(
+        "-O",
+        dest="opt_level",
+        type=int,
+        choices=(0, 1, 2),
+        default=2,
+        metavar="{0,1,2}",
+        help="optimization level: -O0 minimum passes, -O1 adds DCE + store "
+        "forwarding, -O2 the full menu with GVN and store merging "
+        "(default: -O2)",
+    )
+    parser.add_argument(
+        "--emit",
+        choices=("ast", "nir", "p4", "artifact"),
+        default="p4",
+        help="what to produce: 'ast' prints the parse tree, 'nir' the "
+        "optimized per-switch NIR, 'p4' writes per-switch .p4 + reports "
+        "(default), 'artifact' writes one repro.nclc/1 JSON artifact "
+        "loadable with CompiledProgram.load",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="content-addressed artifact cache directory; unchanged "
+        "rebuilds become cache hits",
+    )
+    parser.add_argument(
+        "--window",
+        dest="windows",
+        action="append",
+        metavar="KERNEL=N[,N...]",
+        help="window mask for an outgoing kernel (repeatable)",
+    )
+    parser.add_argument(
+        "--ext",
+        dest="exts",
+        action="append",
+        metavar="FIELD=VALUE",
+        help="window extension field value (applies to all kernels)",
+    )
+    parser.add_argument(
+        "--no-split",
+        action="store_true",
+        help="disable the register-array splitting transformation",
+    )
+    parser.add_argument(
+        "--dump-ir",
+        action="store_true",
+        help="print the generated switch P4 instead of writing artifacts "
+        "(alias of --emit p4 to stdout; use --emit nir for the NIR)",
+    )
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="print per-stage and per-pass wall time with IR-size deltas",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the compile timeline as Chrome trace-event JSON "
+        "(open in chrome://tracing or Perfetto)",
+    )
+    return parser
+
+
+def dump_ast(node, indent: int = 0, name: str = "") -> str:
+    """Plain-text rendering of an NCL AST subtree (``--emit ast``)."""
+    from repro.ncl import ast
+
+    pad = "  " * indent
+    label = f"{name}: " if name else ""
+    if isinstance(node, ast.Node):
+        scalars = []
+        children = []
+        for key, value in sorted(vars(node).items()):
+            if key == "loc":
+                continue
+            if isinstance(value, (ast.Node, list)) and value:
+                children.append((key, value))
+            elif not isinstance(value, (ast.Node, list)):
+                scalars.append(f"{key}={value!r}")
+        head = f"{pad}{label}{type(node).__name__}"
+        if scalars:
+            head += " (" + ", ".join(scalars) + ")"
+        lines = [head]
+        for key, value in children:
+            lines.append(dump_ast(value, indent + 1, key))
+        return "\n".join(lines)
+    if isinstance(node, list):
+        lines = [f"{pad}{label}["]
+        for item in node:
+            lines.append(dump_ast(item, indent + 1))
+        lines.append(f"{pad}]")
+        return "\n".join(lines)
+    return f"{pad}{label}{node!r}"

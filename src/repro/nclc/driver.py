@@ -1,8 +1,8 @@
 """nclc -- the NCL compiler driver (the paper's Fig 6 trajectory).
 
-Pipeline::
+Pipeline (now an explicit :class:`repro.nclc.pm.PassManager` run)::
 
-    NCL source ──frontend──> AST ──sema──> TranslationUnit
+    NCL source ──lex/parse/sema──> TranslationUnit        ("frontend")
         │
         ├── host pipeline:  lower -> SSA -> early opts        (ref module)
         │
@@ -17,29 +17,31 @@ Pipeline::
 The *window configuration* pins each outgoing kernel's mask (elements
 per array per window) and static window-extension fields at compile
 time -- the paper's prototype scope ("windows that fit a packet", S6).
+
+The driver owns three policies on top of the pass manager:
+
+* ``opt_level`` selects the ``-O0/-O1/-O2`` pipeline presets (see
+  :mod:`repro.nir.passes`);
+* an optional :class:`repro.nclc.cache.ArtifactCache` short-circuits the
+  whole run on a content-address hit, returning the cached
+  :class:`CompiledProgram` deserialized from its artifact JSON;
+* :class:`CompiledProgram` serializes to the versioned ``repro.nclc/1``
+  artifact (:meth:`CompiledProgram.save` / :meth:`CompiledProgram.load`)
+  so runtimes and benchmarks can run precompiled programs.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import nullcontext
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Mapping, Optional, Sequence, Union
 
-from repro.andspec.model import AndSpec, parse_and
+from repro.andspec.model import AndSpec
 from repro.errors import RuntimeApiError
-from repro.ncl import frontend
-from repro.ncl.sema import TranslationUnit
-from repro.ncp.wire import KernelLayout, layout_for_kernel
+from repro.ncp.wire import KernelLayout
 from repro.nir import ir
-from repro.nir.lower import lower_unit
-from repro.nir.passes import PassStats, optimize_host, optimize_switch
-from repro.p4.backend import AcceptanceReport, check_program
+from repro.nir.passes import PassStats
+from repro.p4.backend import AcceptanceReport
 from repro.p4.model import P4Program
-from repro.p4.printer import print_program
 from repro.pisa.arch import ArchProfile, profile_by_name
-from repro.nclc.codegen import build_switch_program
-from repro.nclc.conformance import check_module
-from repro.nclc.versioning import version_module
 
 
 class WindowConfig:
@@ -62,7 +64,7 @@ class CompiledProgram:
 
     def __init__(
         self,
-        unit: TranslationUnit,
+        unit,
         ref_module: ir.Module,
         and_spec: AndSpec,
         layouts: Dict[str, KernelLayout],
@@ -76,6 +78,8 @@ class CompiledProgram:
         source: str,
         split_info: Optional[Dict[str, list]] = None,
         compile_trace=None,
+        opt_level: int = 2,
+        switch_modules: Optional[Dict[str, ir.Module]] = None,
     ):
         self.unit = unit
         self.ref_module = ref_module
@@ -95,6 +99,11 @@ class CompiledProgram:
         #: per-location register splits performed by the arch-specific
         #: transformation (label -> [SplitInfo])
         self.split_info = dict(split_info or {})
+        #: the -O level this program was compiled at
+        self.opt_level = opt_level
+        #: per-location optimized switch NIR (label -> Module); feeds
+        #: differential testing and the serialized artifact
+        self.switch_modules = dict(switch_modules or {})
         self.kernel_ids = {name: lo.kernel_id for name, lo in layouts.items()}
         self.kernel_by_id = {lo.kernel_id: name for name, lo in layouts.items()}
 
@@ -116,6 +125,34 @@ class CompiledProgram:
                 return name
         return None
 
+    # -- the repro.nclc/1 artifact ------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to canonical (byte-stable) ``repro.nclc/1`` JSON."""
+        from repro.nclc.artifact import dump_program
+
+        return dump_program(self)
+
+    def save(self, path) -> None:
+        """Write the ``repro.nclc/1`` artifact JSON to *path*."""
+        import pathlib
+
+        pathlib.Path(path).write_text(self.to_json())
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompiledProgram":
+        from repro.nclc.artifact import load_program
+
+        return load_program(text)
+
+    @classmethod
+    def load(cls, path) -> "CompiledProgram":
+        """Reconstruct a program from a saved artifact; the result drives
+        the runtime/cluster without re-invoking the frontend."""
+        import pathlib
+
+        return cls.from_json(pathlib.Path(path).read_text())
+
     def __repr__(self) -> str:
         return (
             f"CompiledProgram({len(self.layouts)} kernels, "
@@ -129,7 +166,11 @@ class Compiler:
         profile: Union[str, ArchProfile, None] = None,
         max_unroll: int = 4096,
         split_arrays: Union[bool, str] = "auto",
+        opt_level: int = 2,
+        cache=None,
     ):
+        from repro.nir.passes import OPT_LEVELS
+
         if isinstance(profile, ArchProfile):
             self.profile = profile
         else:
@@ -138,6 +179,13 @@ class Compiler:
         # "auto": split register arrays only when the chip's access
         # discipline demands it; True/False force the behaviour.
         self.split_arrays = split_arrays
+        if opt_level not in OPT_LEVELS:
+            raise RuntimeApiError(
+                f"unknown opt level {opt_level!r} (have {OPT_LEVELS})"
+            )
+        self.opt_level = opt_level
+        #: optional repro.nclc.cache.ArtifactCache consulted per compile
+        self.cache = cache
 
     def compile(
         self,
@@ -147,205 +195,67 @@ class Compiler:
         defines: Optional[Mapping[str, int]] = None,
         filename: str = "<ncl>",
         trace=None,
+        sink=None,
     ) -> CompiledProgram:
         """Compile *source*. Pass a :class:`repro.obs.CompileTrace` as
         ``trace`` to additionally record per-pass wall time and IR-size
-        deltas (the coarse per-stage times are always collected)."""
-        stage_times: Dict[str, float] = {}
-        stats: Dict[str, PassStats] = {}
+        deltas (the coarse per-stage times are always collected); pass a
+        :class:`repro.diag.DiagnosticSink` as ``sink`` for structured
+        pass-failure diagnostics."""
+        from repro.nclc import pm
 
-        def tstage(name):
-            return trace.stage(name) if trace is not None else nullcontext()
-
-        # -- frontend -------------------------------------------------------
-        t0 = time.perf_counter()
-        with tstage("frontend"):
-            unit = frontend(source, filename, defines)
-        stage_times["frontend"] = time.perf_counter() - t0
-
-        # -- IR generation -----------------------------------------------------
-        t0 = time.perf_counter()
-        with tstage("irgen"):
-            module = lower_unit(unit)
-        stage_times["irgen"] = time.perf_counter() - t0
-
-        # -- AND ---------------------------------------------------------------
-        required = self._required_labels(unit)
-        if and_text is not None:
-            and_spec = parse_and(and_text)
-        else:
-            and_spec = self._default_and(required)
-        and_spec.validate(required)
-
-        # -- stage 1: conformance ------------------------------------------------
-        t0 = time.perf_counter()
-        with tstage("conformance"):
-            check_module(module, and_spec)
-        stage_times["conformance"] = time.perf_counter() - t0
-
-        # -- window configuration ----------------------------------------------
-        window_configs = self._window_configs(unit, windows)
-        layouts = self._build_layouts(unit, window_configs)
-
-        # -- host pipeline (reference module) --------------------------------
-        t0 = time.perf_counter()
-        with tstage("host-opt"):
-            host_stats = PassStats()
-            for fn in module.kernels():
-                optimize_host(fn, host_stats, trace=trace, stage="host")
-        stats["host"] = host_stats
-        stage_times["host-opt"] = time.perf_counter() - t0
-
-        # -- stage 2: versioning --------------------------------------------------
-        t0 = time.perf_counter()
-        with tstage("versioning"):
-            versions = version_module(module, and_spec)
-        stage_times["versioning"] = time.perf_counter() - t0
-
-        # -- stage 3+4 per location -----------------------------------------------
-        switch_programs: Dict[str, P4Program] = {}
-        switch_sources: Dict[str, str] = {}
-        reports: Dict[str, AcceptanceReport] = {}
-        split_info: Dict[str, list] = {}
-        t_opt = 0.0
-        t_gen = 0.0
-        label_ids = and_spec.label_ids()
-        for version in versions:
-            loc_stats = PassStats()
-            t0 = time.perf_counter()
-            compiled_kernels: List[Tuple[ir.Function, KernelLayout]] = []
-            with tstage("switch-opt"):
-                for fn in version.module.kernels(ir.FunctionKind.OUT_KERNEL):
-                    config = window_configs[fn.name]
-                    optimize_switch(
-                        fn,
-                        window_spec=config.ext,
-                        stats=loc_stats,
-                        max_trips=self.max_unroll,
-                        trace=trace,
-                        stage=version.label,
-                    )
-                    compiled_kernels.append((fn, layouts[fn.name]))
-            # Arch-specific transformation: split register arrays when the
-            # chip allows fewer accesses per array than the kernels make.
-            want_split = self.split_arrays is True or (
-                self.split_arrays == "auto"
-                and self.profile.max_register_accesses_per_array <= 4
+        cache_key = None
+        if self.cache is not None:
+            cache_key = self.cache.key_for(
+                source=source,
+                and_text=and_text,
+                windows=windows,
+                defines=defines,
+                profile=self.profile,
+                opt_level=self.opt_level,
+                max_unroll=self.max_unroll,
+                split_arrays=self.split_arrays,
             )
-            if want_split:
-                from repro.nir.passes import split_register_arrays
+            cached = self.cache.get(cache_key, trace=trace)
+            if cached is not None:
+                return CompiledProgram.from_json(cached)
 
-                splits = split_register_arrays(
-                    version.module, self.profile.max_register_accesses_per_array
-                )
-                if splits:
-                    split_info[version.label] = splits
-            t_opt += time.perf_counter() - t0
-            stats[version.label] = loc_stats
+        ctx = pm.PipelineContext(
+            source=source,
+            filename=filename,
+            defines=defines,
+            and_text=and_text,
+            windows=windows,
+            options={
+                "profile": self.profile,
+                "opt_level": self.opt_level,
+                "max_unroll": self.max_unroll,
+                "split_arrays": self.split_arrays,
+            },
+            trace=trace,
+            sink=sink,
+        )
+        manager = pm.PassManager(pm.build_pipeline(self.opt_level))
+        manager.run(ctx)
 
-            t0 = time.perf_counter()
-            with tstage("codegen+backend"):
-                program = build_switch_program(
-                    version.module,
-                    compiled_kernels,
-                    label_ids,
-                    name=f"{module.name}_{version.label}",
-                )
-                switch_programs[version.label] = program
-                switch_sources[version.label] = print_program(program)
-                reports[version.label] = check_program(program, self.profile)
-            t_gen += time.perf_counter() - t0
-        stage_times["switch-opt"] = t_opt
-        stage_times["codegen+backend"] = t_gen
-
-        return CompiledProgram(
-            unit=unit,
-            ref_module=module,
-            and_spec=and_spec,
-            layouts=layouts,
-            window_configs=window_configs,
-            switch_programs=switch_programs,
-            switch_sources=switch_sources,
-            reports=reports,
-            stats=stats,
-            stage_times=stage_times,
+        program = CompiledProgram(
+            unit=ctx.get("unit"),
+            ref_module=ctx.get("module"),
+            and_spec=ctx.get("and_spec"),
+            layouts=ctx.get("layouts"),
+            window_configs=ctx.get("window_configs"),
+            switch_programs=ctx.get("switch_programs"),
+            switch_sources=ctx.get("switch_sources"),
+            reports=ctx.get("reports"),
+            stats=ctx.stats,
+            stage_times=ctx.stage_times,
             profile=self.profile,
             source=source,
-            split_info=split_info,
+            split_info=ctx.get("split_info"),
             compile_trace=trace,
+            opt_level=self.opt_level,
+            switch_modules=ctx.get("switch_modules"),
         )
-
-    # -- helpers ---------------------------------------------------------------
-
-    @staticmethod
-    def _required_labels(unit: TranslationUnit) -> List[str]:
-        labels = []
-        for info in unit.out_kernels.values():
-            if info.at_label:
-                labels.append(info.at_label)
-        for gvar in list(unit.net_globals.values()) + list(unit.ctrl_vars.values()) + list(
-            unit.maps.values()
-        ) + list(unit.blooms.values()):
-            if gvar.at_label:
-                labels.append(gvar.at_label)
-        return sorted(set(labels))
-
-    @staticmethod
-    def _default_and(required_labels: List[str]) -> AndSpec:
-        """Synthesize a chain AND when the program does not supply one:
-        h0 -- s1 -- ... -- h1, with one switch per required label."""
-        spec = AndSpec()
-        spec.add_host("h0")
-        labels = required_labels or ["s1"]
-        for label in labels:
-            spec.add_switch(label)
-        spec.add_host("h1")
-        prev = "h0"
-        for label in labels:
-            spec.add_link(prev, label)
-            prev = label
-        spec.add_link(prev, "h1")
-        return spec
-
-    @staticmethod
-    def _window_configs(
-        unit: TranslationUnit, windows: Optional[Mapping[str, WindowConfig]]
-    ) -> Dict[str, WindowConfig]:
-        windows = dict(windows or {})
-        configs: Dict[str, WindowConfig] = {}
-        ext_fields = [name for name, _ in unit.window_fields[3:]]  # skip builtins
-        for name, info in unit.out_kernels.items():
-            config = windows.pop(name, None)
-            if config is None:
-                config = WindowConfig(mask=(1,) * len(info.data_params))
-            if len(config.mask) != len(info.data_params):
-                raise RuntimeApiError(
-                    f"kernel {name!r}: window mask {config.mask} does not match "
-                    f"its {len(info.data_params)} data parameters"
-                )
-            missing = [f for f in ext_fields if f not in config.ext]
-            if missing:
-                raise RuntimeApiError(
-                    f"kernel {name!r}: window extension fields {missing} need "
-                    "compile-time values (pass them in WindowConfig.ext)"
-                )
-            configs[name] = config
-        if windows:
-            raise RuntimeApiError(
-                f"window configs for unknown kernels: {sorted(windows)}"
-            )
-        return configs
-
-    @staticmethod
-    def _build_layouts(
-        unit: TranslationUnit, configs: Dict[str, WindowConfig]
-    ) -> Dict[str, KernelLayout]:
-        layouts: Dict[str, KernelLayout] = {}
-        ext_fields = unit.window_fields[3:]  # user extension fields only
-        for kid, name in enumerate(sorted(unit.out_kernels), start=1):
-            info = unit.out_kernels[name]
-            params = [(p.name, p.ty) for p in info.data_params]
-            layouts[name] = layout_for_kernel(
-                kid, name, params, configs[name].mask, ext_fields
-            )
-        return layouts
+        if self.cache is not None and cache_key is not None:
+            self.cache.put(cache_key, program.to_json())
+        return program

@@ -21,6 +21,7 @@ from repro.diag import DiagnosticSink
 from repro.diag.export import render_json
 from repro.diag.render import SourceMap, render_text
 from repro.errors import AndError
+from repro.nclc import cli
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,6 +30,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Static analysis for NCL programs (no code generation)",
     )
     parser.add_argument("sources", nargs="*", help="NCL source files")
+    cli.add_common_args(parser)
     parser.add_argument(
         "--json",
         action="store_true",
@@ -54,19 +56,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered analysis rules and exit",
     )
     parser.add_argument(
-        "--profile",
-        default="bmv2",
-        help="chip profile for PISA-resource estimates: bmv2 | tofino-like",
-    )
-    parser.add_argument("--and", dest="and_file", help="AND overlay file")
-    parser.add_argument(
-        "-D",
-        dest="defines",
-        action="append",
-        metavar="NAME=VALUE",
-        help="constant definition (repeatable)",
-    )
-    parser.add_argument(
         "--no-summary",
         action="store_true",
         help="omit the trailing summary line of the text report",
@@ -85,21 +74,12 @@ def main(argv=None) -> int:
         print("error: no source files given", file=sys.stderr)
         return 2
 
-    defines = {}
-    for pair in args.defines or []:
-        if "=" not in pair:
-            print(f"error: expected NAME=VALUE, got {pair!r}", file=sys.stderr)
-            return 2
-        name, _, value = pair.partition("=")
-        defines[name.strip()] = int(value)
-
-    and_text = None
-    if args.and_file:
-        try:
-            and_text = Path(args.and_file).read_text()
-        except OSError as exc:
-            print(f"error: cannot read AND file: {exc}", file=sys.stderr)
-            return 2
+    try:
+        defines = cli.parse_kv(args.defines)
+        and_text = cli.read_and_text(args)
+    except cli.UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     sink = DiagnosticSink()
     sources = {}

@@ -1,13 +1,28 @@
-"""NIR optimization passes and the standard pipelines.
+"""NIR optimization passes: the registry and the standard pipelines.
 
 The menu mirrors the paper's S5 "Analysis and optimization" stage:
 loop unrolling, constant folding/propagation, GVN/CSE, DCE, plus CFG
 simplification and always-inlining of helpers.
+
+Every pass is *registered* under a stable name (:data:`NIR_PASSES`), so
+the pass-manager layer (:mod:`repro.nclc.pm`) can assemble pipelines by
+name, fingerprint them for the artifact cache, and time each invocation
+individually. The ``-O0/-O1/-O2`` presets are plain lists of registered
+pass names (:data:`HOST_PIPELINES` / :data:`SWITCH_PIPELINES`):
+
+* ``-O0`` runs only what correctness demands -- inlining and mem2reg
+  (codegen needs SSA over acyclic CFGs), window specialization, the
+  constant folding + CFG simplification needed to discover trip counts,
+  the full unroll, and memcpy expansion;
+* ``-O1`` adds DCE and store forwarding (the latter halves register
+  accesses, which chip profiles budget);
+* ``-O2`` is the paper's full menu: GVN/CSE, conditional store merging,
+  and repeated cleanup rounds.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.nir import ir
 from repro.nir.mem2reg import promote_allocas
@@ -41,6 +56,14 @@ __all__ = [
     "promote_allocas",
     "optimize_host",
     "optimize_switch",
+    "run_function_pipeline",
+    "host_pipeline",
+    "switch_pipeline",
+    "NirPass",
+    "NIR_PASSES",
+    "HOST_PIPELINES",
+    "SWITCH_PIPELINES",
+    "OPT_LEVELS",
     "PassStats",
 ]
 
@@ -59,6 +82,156 @@ class PassStats:
         return f"PassStats({inner})"
 
 
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+
+class NirPass:
+    """A registered function-level pass.
+
+    ``fn(function, **kwargs) -> int`` returns a change count (what
+    :class:`PassStats` accumulates). ``analysis`` marks passes that never
+    mutate IR (the verifier); the pass manager uses the flag for
+    preserved-analysis bookkeeping.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[..., int],
+        about: str = "",
+        analysis: bool = False,
+        takes: Sequence[str] = (),
+    ):
+        self.name = name
+        self.fn = fn
+        self.about = about
+        self.analysis = analysis
+        #: names of pipeline-level keyword options this pass consumes
+        #: (e.g. ``window_spec`` for specialize-window)
+        self.takes = tuple(takes)
+
+    def __repr__(self) -> str:
+        return f"NirPass({self.name})"
+
+
+NIR_PASSES: Dict[str, NirPass] = {}
+
+
+def register_nir_pass(
+    name: str,
+    fn: Callable[..., int],
+    about: str = "",
+    analysis: bool = False,
+    takes: Sequence[str] = (),
+) -> NirPass:
+    if name in NIR_PASSES:
+        raise ValueError(f"duplicate NIR pass {name!r}")
+    npass = NirPass(name, fn, about, analysis, takes)
+    NIR_PASSES[name] = npass
+    return npass
+
+
+def _verify(fn: ir.Function) -> int:
+    verify_function(fn)
+    return 0
+
+
+register_nir_pass("inline", inline_calls, "always-inline helper calls")
+register_nir_pass("mem2reg", promote_allocas, "promote scalar locals to SSA")
+register_nir_pass("constfold", fold_constants, "constant folding + propagation")
+register_nir_pass("simplifycfg", simplify_cfg, "CFG simplification")
+register_nir_pass("gvn", global_value_numbering, "global value numbering / CSE")
+register_nir_pass("dce", eliminate_dead_code, "dead code elimination")
+register_nir_pass(
+    "specialize-window",
+    lambda fn, window_spec=None: specialize_window(fn, window_spec or {}),
+    "bake window-extension fields into constants",
+    takes=("window_spec",),
+)
+register_nir_pass(
+    "unroll",
+    lambda fn, max_trips=4096: unroll_loops(fn, max_trips=max_trips),
+    "full loop unrolling (switch CFGs must be acyclic)",
+    takes=("max_trips",),
+)
+register_nir_pass("memexpand", expand_memcpy, "expand memcpy into element accesses")
+register_nir_pass("storefwd", forward_stores, "forward stored values into re-reads")
+register_nir_pass(
+    "storemerge", merge_conditional_stores, "merge conditional stores (predication)"
+)
+register_nir_pass("verify", _verify, "IR structural verifier", analysis=True)
+
+
+# ---------------------------------------------------------------------------
+# Pipelines
+# ---------------------------------------------------------------------------
+
+#: Cleanup rounds (each ends in a verify, as the monolithic driver did).
+_CLEANUP = ("constfold", "simplifycfg", "gvn", "dce", "simplifycfg", "verify")
+_CLEANUP_O1 = ("constfold", "simplifycfg", "dce", "simplifycfg", "verify")
+#: the minimum folding needed so unroll can discover trip counts and
+#: versioning's location split collapses (never skippable).
+_CLEANUP_O0 = ("constfold", "simplifycfg", "verify")
+
+#: The host pipeline per opt level: SSA + early optimizations, loops kept.
+HOST_PIPELINES: Dict[int, Tuple[str, ...]] = {
+    0: ("inline", "mem2reg", "verify", *_CLEANUP_O0),
+    1: ("inline", "mem2reg", "verify", *_CLEANUP_O1),
+    2: ("inline", "mem2reg", "verify", *_CLEANUP),
+}
+
+#: The device pipeline front half per opt level: SSA, specialization,
+#: full unroll, then scalar/memory optimization. After any of these the
+#: CFG is acyclic and ready for PISA lowering.
+SWITCH_PIPELINES: Dict[int, Tuple[str, ...]] = {
+    0: (
+        "inline", "mem2reg", "verify",
+        "specialize-window",
+        *_CLEANUP_O0,
+        "unroll", "verify",
+        *_CLEANUP_O0,
+        "memexpand",
+        "dce",  # unrolled loop counters would otherwise occupy PHV space
+        *_CLEANUP_O0,
+    ),
+    1: (
+        "inline", "mem2reg", "verify",
+        "specialize-window",
+        *_CLEANUP_O1,
+        "unroll", "verify",
+        *_CLEANUP_O1,
+        "memexpand", "storefwd",
+        *_CLEANUP_O1,
+    ),
+    2: (
+        "inline", "mem2reg", "verify",
+        "specialize-window",
+        *_CLEANUP,
+        "unroll", "verify",
+        *_CLEANUP,
+        "memexpand", "storefwd", "storemerge", "storefwd",
+        "verify",
+        *_CLEANUP,
+    ),
+}
+
+OPT_LEVELS = tuple(sorted(SWITCH_PIPELINES))
+
+
+def host_pipeline(opt_level: int = 2) -> Tuple[str, ...]:
+    if opt_level not in HOST_PIPELINES:
+        raise ValueError(f"unknown opt level {opt_level!r} (have {OPT_LEVELS})")
+    return HOST_PIPELINES[opt_level]
+
+
+def switch_pipeline(opt_level: int = 2) -> Tuple[str, ...]:
+    if opt_level not in SWITCH_PIPELINES:
+        raise ValueError(f"unknown opt level {opt_level!r} (have {OPT_LEVELS})")
+    return SWITCH_PIPELINES[opt_level]
+
+
 def _run_pass(trace, stage, name, pass_fn, fn, *args, **kwargs):
     """Run one pass, optionally under a CompileTrace (duck-typed: any
     object with ``measure(stage, pass, fn)`` recording wall time and
@@ -69,16 +242,35 @@ def _run_pass(trace, stage, name, pass_fn, fn, *args, **kwargs):
         return pass_fn(fn, *args, **kwargs)
 
 
-def _cleanup(
-    fn: ir.Function, stats: PassStats, verify: bool, trace=None, stage: str = ""
-) -> None:
-    stats.add("constfold", _run_pass(trace, stage, "constfold", fold_constants, fn))
-    stats.add("simplifycfg", _run_pass(trace, stage, "simplifycfg", simplify_cfg, fn))
-    stats.add("gvn", _run_pass(trace, stage, "gvn", global_value_numbering, fn))
-    stats.add("dce", _run_pass(trace, stage, "dce", eliminate_dead_code, fn))
-    stats.add("simplifycfg", _run_pass(trace, stage, "simplifycfg", simplify_cfg, fn))
-    if verify:
-        verify_function(fn)
+def run_function_pipeline(
+    fn: ir.Function,
+    pipeline: Sequence[str],
+    stats: Optional[PassStats] = None,
+    verify: bool = True,
+    trace=None,
+    stage: str = "",
+    options: Optional[Mapping[str, object]] = None,
+) -> PassStats:
+    """Run the named passes over *fn* in order.
+
+    ``options`` supplies pipeline-level keywords (``window_spec``,
+    ``max_trips``) to the passes that declared them via ``takes``.
+    ``verify=False`` skips the registered ``verify`` steps (used by
+    tests that build deliberately broken IR).
+    """
+    stats = stats or PassStats()
+    options = dict(options or {})
+    for name in pipeline:
+        npass = NIR_PASSES.get(name)
+        if npass is None:
+            raise ValueError(f"unknown NIR pass {name!r}")
+        if npass.analysis:
+            if verify:
+                _run_pass(trace, stage, name, npass.fn, fn)
+            continue
+        kwargs = {k: options[k] for k in npass.takes if k in options}
+        stats.add(name, _run_pass(trace, stage, name, npass.fn, fn, **kwargs))
+    return stats
 
 
 def optimize_host(
@@ -87,15 +279,12 @@ def optimize_host(
     verify: bool = True,
     trace=None,
     stage: str = "host",
+    opt_level: int = 2,
 ) -> PassStats:
     """The host pipeline: SSA + early optimizations, loops kept."""
-    stats = stats or PassStats()
-    stats.add("inline", _run_pass(trace, stage, "inline", inline_calls, fn))
-    stats.add("mem2reg", _run_pass(trace, stage, "mem2reg", promote_allocas, fn))
-    if verify:
-        verify_function(fn)
-    _cleanup(fn, stats, verify, trace, stage)
-    return stats
+    return run_function_pipeline(
+        fn, host_pipeline(opt_level), stats, verify, trace, stage
+    )
 
 
 def optimize_switch(
@@ -106,38 +295,20 @@ def optimize_switch(
     max_trips: int = 4096,
     trace=None,
     stage: str = "switch",
+    opt_level: int = 2,
 ) -> PassStats:
     """The device pipeline front half: SSA, specialization, full unroll,
     then the scalar optimizations. After this the CFG is acyclic and
     ready for PISA lowering."""
-    stats = stats or PassStats()
-    stats.add("inline", _run_pass(trace, stage, "inline", inline_calls, fn))
-    stats.add("mem2reg", _run_pass(trace, stage, "mem2reg", promote_allocas, fn))
-    if verify:
-        verify_function(fn)
-    if window_spec:
-        stats.add(
-            "specialize-window",
-            _run_pass(trace, stage, "specialize-window", specialize_window, fn, window_spec),
-        )
-    _cleanup(fn, stats, verify, trace, stage)
-    stats.add(
-        "unroll",
-        _run_pass(trace, stage, "unroll", unroll_loops, fn, max_trips=max_trips),
+    pipeline = list(switch_pipeline(opt_level))
+    if not window_spec:
+        pipeline = [p for p in pipeline if p != "specialize-window"]
+    return run_function_pipeline(
+        fn,
+        pipeline,
+        stats,
+        verify,
+        trace,
+        stage,
+        options={"window_spec": dict(window_spec or {}), "max_trips": max_trips},
     )
-    if verify:
-        verify_function(fn)
-    _cleanup(fn, stats, verify, trace, stage)
-    # Post-unroll memory optimizations: expose memcpy element accesses,
-    # forward stored values into re-reads (cuts register accesses), clean.
-    stats.add("memexpand", _run_pass(trace, stage, "memexpand", expand_memcpy, fn))
-    stats.add("storefwd", _run_pass(trace, stage, "storefwd", forward_stores, fn))
-    stats.add(
-        "storemerge",
-        _run_pass(trace, stage, "storemerge", merge_conditional_stores, fn),
-    )
-    stats.add("storefwd", _run_pass(trace, stage, "storefwd", forward_stores, fn))
-    if verify:
-        verify_function(fn)
-    _cleanup(fn, stats, verify, trace, stage)
-    return stats

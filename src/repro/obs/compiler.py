@@ -36,6 +36,8 @@ class CompileTrace:
         self.stages: List[Dict[str, object]] = []
         #: [{stage, pass, fn, wall_s, ir_before, ir_after, start_s}]
         self.passes: List[Dict[str, object]] = []
+        #: [{event, key, at_s}] -- artifact-cache lookups (hit/miss)
+        self.cache_events: List[Dict[str, object]] = []
 
     # -- recording -------------------------------------------------------------
 
@@ -74,6 +76,13 @@ class CompileTrace:
                 }
             )
 
+    def cache_event(self, event: str, key: str) -> None:
+        """Record an artifact-cache lookup (``event`` is hit/miss); the
+        cache calls this when a trace rides along with the compile."""
+        self.cache_events.append(
+            {"event": event, "key": key, "at_s": self.clock() - self._t0}
+        )
+
     # -- reporting -------------------------------------------------------------
 
     def stage_times(self) -> Dict[str, float]:
@@ -98,11 +107,21 @@ class CompileTrace:
                 }
                 for r in self.passes
             ],
+            "cache": [
+                {"event": r["event"], "key": r["key"]}
+                for r in self.cache_events
+            ],
         }
 
     def format_table(self) -> str:
         """The ``nclc --timing`` report."""
-        lines = ["== compile stages =="]
+        lines = []
+        for rec in self.cache_events:
+            lines.append(
+                f"== artifact cache: {rec['event']} "
+                f"({str(rec['key'])[:12]}…) =="
+            )
+        lines.append("== compile stages ==")
         for rec in self.stages:
             lines.append(f"  {rec['stage']:<20} {rec['wall_s'] * 1e3:8.3f} ms")
         lines.append("== passes (wall ms, IR instrs before -> after) ==")

@@ -84,3 +84,79 @@ class TestCli:
         assert run_cli(workdir, "--dump-ir") == 0
         out = capsys.readouterr().out
         assert "control Ingress" in out
+
+
+class TestBuildSubcommandAndFlags:
+    def run_build(self, workdir, *extra):
+        from repro.nclc.__main__ import main
+
+        return main(
+            [
+                "build",
+                str(workdir / "prog.ncl"),
+                "--and",
+                str(workdir / "net.and"),
+                "-o",
+                str(workdir / "build"),
+                "--window",
+                "allreduce=4",
+                "--ext",
+                "len=4",
+                "-D",
+                "DATA_LEN=64",
+                "-D",
+                "WIN_LEN=4",
+                *extra,
+            ]
+        )
+
+    def test_build_word_is_optional(self, workdir, capsys):
+        assert self.run_build(workdir) == 0
+        assert "ACCEPTED" in capsys.readouterr().out
+        assert (workdir / "build" / "s1.p4").exists()
+
+    def test_emit_ast_prints_parse_tree(self, workdir, capsys):
+        assert self.run_build(workdir, "--emit", "ast") == 0
+        out = capsys.readouterr().out
+        assert "Program" in out
+        assert "FuncDecl" in out and "name='allreduce'" in out
+
+    def test_emit_nir_prints_optimized_modules(self, workdir, capsys):
+        assert self.run_build(workdir, "--emit", "nir") == 0
+        out = capsys.readouterr().out
+        assert "switch s1 (optimized NIR, -O2)" in out
+        assert "module ncl@s1" in out
+        assert "func allreduce" in out
+
+    def test_emit_artifact_writes_loadable_program(self, workdir, capsys):
+        from repro.nclc.driver import CompiledProgram
+
+        assert self.run_build(workdir, "--emit", "artifact") == 0
+        assert "repro.nclc/1" in capsys.readouterr().out
+        artifact = workdir / "build" / "prog.nclc.json"
+        program = CompiledProgram.load(artifact)
+        assert "s1" in program.switch_programs
+
+    def test_opt_level_flag(self, workdir, capsys):
+        assert self.run_build(workdir, "-O0", "--emit", "nir") == 0
+        o0 = capsys.readouterr().out
+        assert self.run_build(workdir, "-O2", "--emit", "nir") == 0
+        o2 = capsys.readouterr().out
+        assert "-O0" in o0 and "-O2" in o2
+        # -O0 leaves the redundant loads the -O2 menu removes
+        assert len(o0.splitlines()) > len(o2.splitlines())
+
+    def test_bad_opt_level_rejected(self, workdir, capsys):
+        with pytest.raises(SystemExit):
+            self.run_build(workdir, "-O7")
+
+    def test_cache_flag_hits_on_rebuild(self, workdir, capsys):
+        cache_dir = workdir / "cache"
+        assert self.run_build(workdir, "--cache", str(cache_dir)) == 0
+        assert list(cache_dir.glob("*/*.nclc.json"))
+        assert self.run_build(workdir, "--cache", str(cache_dir), "--timing") == 0
+        assert "artifact cache: hit" in capsys.readouterr().out
+
+    def test_bad_define_exits_2(self, workdir, capsys):
+        assert self.run_build(workdir, "-D", "JUNK") == 2
+        assert "NAME=VALUE" in capsys.readouterr().err
