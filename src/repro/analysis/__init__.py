@@ -52,6 +52,43 @@ class AnalysisContext:
         self.sink = sink
         self.profile = profile or BMV2
         self.and_spec = and_spec
+        self._absint_fns = None
+
+    def absint_functions(self):
+        """Lazily-computed ``[(ssa_function, FunctionFacts)]`` pairs.
+
+        The lint module is pre-SSA (lenient lowering output), so each
+        function is cloned, inlined and mem2reg-promoted before the
+        abstract interpreter runs; source locations survive the cloning,
+        which is what lets range-graded rules anchor findings back to
+        the original program. Functions that cannot be brought into SSA
+        (error recovery poisoned them) simply contribute no facts.
+        """
+        if self._absint_fns is not None:
+            return self._absint_fns
+        self._absint_fns = []
+        if self.module is None:
+            return self._absint_fns
+        from repro.analysis.absint import analyze_function
+        from repro.nir.passes import run_function_pipeline
+        from repro.nir.passes.clone import clone_function
+
+        label_ids = None
+        if self.and_spec is not None:
+            try:
+                label_ids = self.and_spec.label_ids()
+            except Exception:
+                label_ids = None
+        for name in self.module.functions:
+            fn = self.module.functions[name]
+            try:
+                ssa = clone_function(fn)
+                run_function_pipeline(ssa, ("inline", "mem2reg"), verify=False)
+                facts = analyze_function(ssa, label_ids=label_ids)
+            except Exception:
+                continue
+            self._absint_fns.append((ssa, facts))
+        return self._absint_fns
 
 
 class Rule:

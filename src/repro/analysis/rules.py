@@ -11,9 +11,11 @@ NCL0702  uninit-read           variable may be read before assignment
 NCL0703  dead-store            stored value is never read
 NCL0704  unreachable-code      statement can never execute
 NCL0705  unbounded-loop        kernel loop cannot unroll to PISA
+NCL0706  dead-branch           branch condition proved constant
 NCL0801  width-truncation      implicit narrowing conversion
-NCL0802  overflow              shift amount out of range
-NCL0803  overflow              constant arithmetic overflows its type
+NCL0802  shift-range           shift amount out of range
+NCL0803  overflow              arithmetic overflows its declared width
+NCL0805  div-by-zero           division or remainder by zero
 NCL0901  unused-kernel         _out_ kernel never launched via ncl::out
 NCL0902  unused-kernel         _in_ kernel never registered via ncl::in
 NCL0903  unused-window-field   window extension field never read
@@ -23,6 +25,19 @@ NCL0612  pisa-resources        PHV bit budget exceeded
 NCL0613  pisa-resources        pipeline stage budget exceeded
 NCL0614  pisa-resources        match-action table budget exceeded
 ======== ===================== =========================================
+
+The value-flow rules (``dead-branch``, ``width-truncation``,
+``shift-range``, ``overflow``, ``div-by-zero``) consume the abstract
+interpreter's interval + known-bits facts
+(:meth:`repro.analysis.AnalysisContext.absint_functions`) and grade each
+finding: *proved* (error severity -- the property holds on every
+execution reaching the site) or *possible* (warning severity -- the
+computed ranges admit it). A site that the ranges rule out is
+suppressed entirely, which is what keeps the shipped examples
+lint-clean. Because helpers are inlined before the analysis, one source
+location can occur in several analysis contexts; a finding is *proved*
+only when every occurrence proves it, and suppressed only when every
+occurrence is ruled out.
 """
 
 from __future__ import annotations
@@ -30,6 +45,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis import AnalysisContext, Rule, register
+from repro.analysis.absint import exact_range
 from repro.analysis.dataflow import dead_stores, may_uninit_reads
 from repro.diag import Span
 from repro.ncl import ast
@@ -54,6 +70,43 @@ def _bits(ty) -> Optional[int]:
         return scalar_bits(ty)
     except Exception:
         return None
+
+
+def _absint_missed(ctx: AnalysisContext) -> List[ir.Function]:
+    """Functions the abstract interpreter produced no facts for.
+
+    Value-flow rules fall back to their pre-absint (purely syntactic)
+    checks on these so that a function SSA construction chokes on still
+    gets the cheap findings.
+    """
+    analyzed = {fn.name for fn, _facts in ctx.absint_functions()}
+    if ctx.module is None:
+        return []
+    return [
+        fn for name, fn in ctx.module.functions.items() if name not in analyzed
+    ]
+
+
+def _range_note(what: str, val) -> str:
+    """A human-readable evidence note for one abstract value."""
+    if val.is_singleton:
+        return f"{what} is always {val.lo}"
+    return f"{what} is in [{val.lo}, {val.hi}]"
+
+
+def _grade_site(grades: List[str]) -> Optional[str]:
+    """Collapse per-occurrence grades for one source site.
+
+    ``grades`` holds one of ``"clean"``/``"proved"``/``"possible"`` per
+    analysis context the site occurred in (helpers are inlined, so one
+    site can occur several times). Proved needs *every* occurrence
+    proved; all-clean suppresses; anything mixed is merely possible.
+    """
+    if not grades or all(g == "clean" for g in grades):
+        return None
+    if all(g == "proved" for g in grades):
+        return "proved"
+    return "possible"
 
 
 def _gvar_decl(unit: TranslationUnit, name: str) -> Optional[ast.GlobalVar]:
@@ -412,96 +465,375 @@ class UnboundedLoopRule(Rule):
 
 
 @register
+class DeadBranchRule(Rule):
+    """Range-proved constant branch conditions (proved-only: a branch
+    the analysis cannot decide is simply not a finding).
+
+    Literal-constant conditions are skipped -- ``while (1)`` and
+    config-macro idioms are deliberate, and unbounded-loop/unreachable-
+    code already cover their pathological cases.
+    """
+
+    name = "dead-branch"
+    codes = ("NCL0706",)
+    about = "branch condition proved always true / always false"
+    requires_nir = True
+
+    def run(self, ctx: AnalysisContext) -> None:
+        sites: Dict[object, List[Optional[bool]]] = {}
+        for fn, facts in ctx.absint_functions():
+            for block in fn.blocks:
+                if block not in facts.reachable:
+                    continue
+                term = block.terminator
+                if not isinstance(term, ir.CondBr):
+                    continue
+                if isinstance(term.cond, ir.Const):
+                    continue
+                # branches are synthesized by the lowerer; the condition
+                # expression is what carries the source location
+                loc = term.loc or getattr(term.cond, "loc", None)
+                if loc is None:
+                    continue
+                sites.setdefault(loc, []).append(
+                    facts.branch_decisions.get(term)
+                )
+        for loc, decisions in sites.items():
+            if any(d is None for d in decisions):
+                continue  # undecided in at least one context
+            if len(set(decisions)) != 1:
+                continue  # proved, but in different directions per context
+            taken = decisions[0]
+            dead = "else" if taken else "then"
+            ctx.sink.error(
+                "NCL0706",
+                f"condition is always {'true' if taken else 'false'}; the "
+                f"{dead} branch never executes",
+                loc,
+                notes=[
+                    "proved by interval and known-bits analysis of every "
+                    "path reaching this branch"
+                ],
+                rule=self.name,
+                status="proved",
+            )
+
+
+@register
 class WidthTruncationRule(Rule):
     name = "width-truncation"
     codes = ("NCL0801",)
     about = "implicit conversion to a narrower integer"
     requires_nir = True
 
-    def run(self, ctx: AnalysisContext) -> None:
-        assert ctx.module is not None
-        for fn in ctx.module.functions.values():
-            seen = set()
-            for instr in fn.instructions():
-                if not (
-                    isinstance(instr, ir.Cast)
-                    and instr.kind == "trunc"
-                    and not instr.explicit
-                    and instr.loc is not None
-                ):
-                    continue
+    @staticmethod
+    def _implicit_truncs(fn: ir.Function):
+        for instr in fn.instructions():
+            if (
+                isinstance(instr, ir.Cast)
+                and instr.kind == "trunc"
+                and not instr.explicit
+                and instr.loc is not None
+            ):
                 from_bits = _bits(instr.operands[0].ty)
                 to_bits = _bits(instr.ty)
-                if from_bits is None or to_bits is None:
-                    continue
+                if from_bits is not None and to_bits is not None:
+                    yield instr, from_bits, to_bits
+
+    def run(self, ctx: AnalysisContext) -> None:
+        assert ctx.module is not None
+        sites: Dict[Tuple, List[str]] = {}
+        evidence: Dict[Tuple, object] = {}
+        for fn, facts in ctx.absint_functions():
+            for instr, from_bits, to_bits in self._implicit_truncs(fn):
                 key = (instr.loc, from_bits, to_bits)
-                if key in seen:
-                    continue
-                seen.add(key)
+                val = facts.value_of(instr.operands[0])
+                lo, hi = (
+                    (-(1 << (to_bits - 1)), (1 << (to_bits - 1)) - 1)
+                    if is_signed(instr.ty)
+                    else (0, (1 << to_bits) - 1)
+                )
+                if val is None:
+                    grade = "possible"
+                elif val.is_bottom or (lo <= val.lo and val.hi <= hi):
+                    grade = "clean"  # unreachable, or the value fits
+                elif val.hi < lo or val.lo > hi:
+                    grade = "proved"
+                    evidence[key] = val
+                else:
+                    grade = "possible"
+                    if val.informative():
+                        evidence.setdefault(key, val)
+                sites.setdefault(key, []).append(grade)
+        for fn in _absint_missed(ctx):
+            for instr, from_bits, to_bits in self._implicit_truncs(fn):
+                sites.setdefault(
+                    (instr.loc, from_bits, to_bits), []
+                ).append("possible")
+
+        for (loc, from_bits, to_bits), grades in sites.items():
+            status = _grade_site(grades)
+            if status is None:
+                continue
+            val = evidence.get((loc, from_bits, to_bits))
+            notes = [_range_note("the truncated value", val)] if val else None
+            if status == "proved":
+                ctx.sink.error(
+                    "NCL0801",
+                    f"implicit truncation from {from_bits}-bit to "
+                    f"{to_bits}-bit always loses data: no value in range "
+                    f"is representable after narrowing",
+                    loc,
+                    notes=notes,
+                    fixit="mask or range-check the value before narrowing it",
+                    rule=self.name,
+                    status=status,
+                )
+            else:
                 ctx.sink.warning(
                     "NCL0801",
                     f"implicit truncation from {from_bits}-bit to "
                     f"{to_bits}-bit value may lose data",
-                    instr.loc,
+                    loc,
+                    notes=notes,
                     fixit="write an explicit cast if the narrowing is intended",
                     rule=self.name,
+                    status=status,
                 )
 
 
 @register
-class OverflowRule(Rule):
-    name = "overflow"
-    codes = ("NCL0802", "NCL0803")
-    about = "shift out of range / constant arithmetic overflow"
-    requires_nir = True
+class ShiftRangeRule(Rule):
+    """Shift amounts, graded by the interpreter's trap semantics: a
+    negative amount traps, an amount >= the width silently reduces
+    modulo the width (almost never what the author meant)."""
 
-    _EXACT = {
-        "add": lambda a, b: a + b,
-        "sub": lambda a, b: a - b,
-        "mul": lambda a, b: a * b,
-    }
+    name = "shift-range"
+    codes = ("NCL0802",)
+    about = "shift amount negative or >= the shifted value's width"
+    requires_nir = True
 
     def run(self, ctx: AnalysisContext) -> None:
         assert ctx.module is not None
-        for fn in ctx.module.functions.values():
+        sites: Dict[object, List[str]] = {}
+        details: Dict[object, Tuple] = {}
+        for fn, facts in ctx.absint_functions():
             for instr in fn.instructions():
-                if not isinstance(instr, ir.BinOp) or instr.loc is None:
+                if not (
+                    isinstance(instr, ir.BinOp)
+                    and instr.op in ("shl", "lshr", "ashr")
+                    and instr.loc is not None
+                ):
                     continue
                 bits = _bits(instr.ty)
                 if bits is None:
                     continue
-                if instr.op in ("shl", "lshr", "ashr") and isinstance(
-                    instr.rhs, ir.Const
-                ):
-                    amount = instr.rhs.value
-                    if amount < 0 or amount >= bits:
-                        ctx.sink.warning(
-                            "NCL0802",
-                            f"shift amount {amount} is out of range for a "
-                            f"{bits}-bit value",
-                            instr.loc,
-                            rule=self.name,
-                        )
-                elif (
-                    instr.op in self._EXACT
-                    and isinstance(instr.lhs, ir.Const)
+                status = facts.shift_status.get(instr)
+                amount = facts.value_of(instr.rhs)
+                if status in ("neg", "oob"):
+                    grade = "proved"
+                elif status == "maybe" and amount is not None and amount.informative():
+                    grade = "possible"
+                else:
+                    grade = "clean"
+                sites.setdefault(instr.loc, []).append(grade)
+                if grade != "clean" and instr.loc not in details:
+                    details[instr.loc] = (status, bits, amount)
+        for fn in _absint_missed(ctx):
+            for instr in fn.instructions():
+                if (
+                    isinstance(instr, ir.BinOp)
+                    and instr.op in ("shl", "lshr", "ashr")
+                    and instr.loc is not None
                     and isinstance(instr.rhs, ir.Const)
                 ):
-                    exact = self._EXACT[instr.op](
-                        instr.lhs.value, instr.rhs.value
-                    )
+                    bits = _bits(instr.ty)
+                    if bits is None:
+                        continue
+                    amount = instr.rhs.value
+                    if amount < 0 or amount >= bits:
+                        sites.setdefault(instr.loc, []).append("proved")
+                        details.setdefault(
+                            instr.loc, ("neg" if amount < 0 else "oob", bits, None)
+                        )
+                    else:
+                        sites.setdefault(instr.loc, []).append("clean")
+
+        for loc, grades in sites.items():
+            graded = _grade_site(grades)
+            if graded is None:
+                continue
+            status, bits, amount = details[loc]
+            notes = [_range_note("the shift amount", amount)] if amount else None
+            if graded == "proved" and status == "neg":
+                message = (
+                    "shift amount is always negative, which traps at runtime"
+                )
+            elif graded == "proved":
+                message = (
+                    f"shift amount is always out of range for a {bits}-bit "
+                    "value (amounts are reduced modulo the width)"
+                )
+            else:
+                message = (
+                    f"shift amount may be out of range for a {bits}-bit value"
+                )
+            report = ctx.sink.error if graded == "proved" else ctx.sink.warning
+            report(
+                "NCL0802", message, loc, notes=notes, rule=self.name,
+                status=graded,
+            )
+
+
+@register
+class OverflowRule(Rule):
+    """Wrapping arithmetic, graded against the *unwrapped* result range:
+    disjoint from the representable range means every execution wraps
+    (proved); an overlap flags only when both operand ranges are
+    informative, so full-width unknowns stay quiet."""
+
+    name = "overflow"
+    codes = ("NCL0803",)
+    about = "arithmetic whose result overflows its declared width"
+    requires_nir = True
+
+    def run(self, ctx: AnalysisContext) -> None:
+        assert ctx.module is not None
+        sites: Dict[object, List[str]] = {}
+        details: Dict[object, Tuple] = {}
+        for fn, facts in ctx.absint_functions():
+            for instr in fn.instructions():
+                if not (
+                    isinstance(instr, ir.BinOp)
+                    and instr.op in ("add", "sub", "mul")
+                    and instr.loc is not None
+                ):
+                    continue
+                bits = _bits(instr.ty)
+                if bits is None:
+                    continue
+                a = facts.value_of(instr.lhs)
+                b = facts.value_of(instr.rhs)
+                grade = "clean"
+                if a is not None and b is not None:
+                    exact = exact_range(instr.op, a, b)
                     signed = is_signed(instr.ty)
                     lo = -(1 << (bits - 1)) if signed else 0
                     hi = (1 << (bits - 1)) - 1 if signed else (1 << bits) - 1
-                    if not (lo <= exact <= hi):
-                        kind = "signed" if signed else "unsigned"
-                        ctx.sink.warning(
-                            "NCL0803",
-                            f"constant expression evaluates to {exact}, which "
-                            f"overflows {bits}-bit {kind} arithmetic",
-                            instr.loc,
-                            rule=self.name,
-                        )
+                    if exact is not None:
+                        ex_lo, ex_hi = exact
+                        if ex_lo > hi or ex_hi < lo:
+                            grade = "proved"
+                        elif (ex_lo < lo or ex_hi > hi) and (
+                            a.informative() and b.informative()
+                        ):
+                            grade = "possible"
+                        if grade != "clean" and instr.loc not in details:
+                            details[instr.loc] = (bits, signed, ex_lo, ex_hi)
+                sites.setdefault(instr.loc, []).append(grade)
+        # No syntactic fallback: const-const arithmetic is exactly what
+        # the analyzer proves even with top inputs, and anything else
+        # was never reportable without ranges.
+
+        for loc, grades in sites.items():
+            graded = _grade_site(grades)
+            if graded is None:
+                continue
+            bits, signed, ex_lo, ex_hi = details[loc]
+            kind = "signed" if signed else "unsigned"
+            if graded == "proved" and ex_lo == ex_hi:
+                message = (
+                    f"expression always evaluates to {ex_lo}, which "
+                    f"overflows {bits}-bit {kind} arithmetic"
+                )
+            elif graded == "proved":
+                message = (
+                    f"arithmetic always overflows: the exact result range "
+                    f"[{ex_lo}, {ex_hi}] lies entirely outside {bits}-bit "
+                    f"{kind} range"
+                )
+            else:
+                message = (
+                    f"arithmetic may overflow {bits}-bit {kind} range: the "
+                    f"exact result can reach [{ex_lo}, {ex_hi}]"
+                )
+            report = ctx.sink.error if graded == "proved" else ctx.sink.warning
+            report(
+                "NCL0803", message, loc,
+                notes=["results wrap modulo the declared width at runtime"],
+                rule=self.name, status=graded,
+            )
+
+
+@register
+class DivByZeroRule(Rule):
+    name = "div-by-zero"
+    codes = ("NCL0805",)
+    about = "division or remainder whose divisor can be zero"
+    requires_nir = True
+
+    def run(self, ctx: AnalysisContext) -> None:
+        assert ctx.module is not None
+        sites: Dict[object, List[str]] = {}
+        evidence: Dict[object, object] = {}
+        for fn, facts in ctx.absint_functions():
+            for instr in fn.instructions():
+                if not (
+                    isinstance(instr, ir.BinOp)
+                    and instr.op in ("udiv", "sdiv", "urem", "srem")
+                    and instr.loc is not None
+                ):
+                    continue
+                status = facts.div_status.get(instr)
+                divisor = facts.value_of(instr.rhs)
+                if status == "zero":
+                    grade = "proved"
+                elif (
+                    status == "maybe"
+                    and divisor is not None
+                    and divisor.informative()
+                ):
+                    grade = "possible"
+                else:
+                    grade = "clean"
+                sites.setdefault(instr.loc, []).append(grade)
+                if grade != "clean" and divisor is not None:
+                    evidence.setdefault(instr.loc, divisor)
+        for fn in _absint_missed(ctx):
+            for instr in fn.instructions():
+                if (
+                    isinstance(instr, ir.BinOp)
+                    and instr.op in ("udiv", "sdiv", "urem", "srem")
+                    and instr.loc is not None
+                ):
+                    const_zero = (
+                        isinstance(instr.rhs, ir.Const) and instr.rhs.value == 0
+                    )
+                    sites.setdefault(instr.loc, []).append(
+                        "proved" if const_zero else "clean"
+                    )
+
+        for loc, grades in sites.items():
+            graded = _grade_site(grades)
+            if graded is None:
+                continue
+            val = evidence.get(loc)
+            notes = [_range_note("the divisor", val)] if val else None
+            if graded == "proved":
+                ctx.sink.error(
+                    "NCL0805",
+                    "divisor is always zero; this division traps on every "
+                    "execution",
+                    loc, notes=notes, rule=self.name, status=graded,
+                )
+            else:
+                ctx.sink.warning(
+                    "NCL0805",
+                    "divisor may be zero",
+                    loc, notes=notes,
+                    fixit="guard the division or prove the divisor nonzero",
+                    rule=self.name, status=graded,
+                )
 
 
 @register

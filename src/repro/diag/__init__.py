@@ -76,6 +76,7 @@ class Diagnostic:
         notes: Optional[Sequence[str]] = None,
         fixit: Optional[str] = None,
         rule: Optional[str] = None,
+        status: Optional[str] = None,
     ):
         self.severity = severity
         self.code = code
@@ -86,6 +87,10 @@ class Diagnostic:
         self.fixit = fixit
         #: analysis rule name for findings from :mod:`repro.analysis`
         self.rule = rule
+        #: absint grading for value-flow findings: "proved" (holds on
+        #: every execution reaching the site) or "possible" (the computed
+        #: ranges admit it); None for findings without range evidence
+        self.status = status
 
     def sort_key(self) -> Tuple:
         if self.primary is not None:
@@ -134,12 +139,14 @@ class DiagnosticSink:
         notes: Optional[Sequence[str]] = None,
         fixit: Optional[str] = None,
         rule: Optional[str] = None,
+        status: Optional[str] = None,
     ) -> Diagnostic:
         primary = Span(loc, length) if loc is not None else None
         return self.add(
             Diagnostic(
                 severity, code, message, primary=primary,
                 secondary=secondary, notes=notes, fixit=fixit, rule=rule,
+                status=status,
             )
         )
 

@@ -43,6 +43,8 @@ def diagnostic_dict(diag: Diagnostic) -> Dict[str, object]:
         out["rule"] = diag.rule
     if diag.fixit is not None:
         out["fixit"] = diag.fixit
+    if diag.status is not None:
+        out["status"] = diag.status
     return out
 
 

@@ -99,6 +99,7 @@ def run_build(args) -> int:
         split_arrays=False if args.no_split else "auto",
         opt_level=args.opt_level,
         cache=cache,
+        verify_opt=args.verify_opt,
     )
     trace = None
     if args.timing or args.trace_out:
@@ -127,6 +128,14 @@ def run_build(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except ReproError as exc:
+        from repro.analysis.transval import TranslationValidationError
+
+        if isinstance(exc, TranslationValidationError):
+            print(f"translation validation FAILED: optimization pass "
+                  f"{exc.pass_name!r} miscompiled kernel {exc.fn_name!r}:",
+                  file=sys.stderr)
+            print(f"  {exc.detail}", file=sys.stderr)
+            return 1
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -143,6 +152,10 @@ def run_build(args) -> int:
         for label, module in program.switch_modules.items():
             print(f"; ===== switch {label} (optimized NIR, -O{args.opt_level}) =====")
             print(module.render())
+        return 0
+
+    if args.emit == "absint":
+        sys.stdout.write(program.render_absint())
         return 0
 
     if args.dump_ir:

@@ -83,12 +83,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--emit",
-        choices=("ast", "nir", "p4", "artifact"),
+        choices=("ast", "nir", "absint", "p4", "artifact"),
         default="p4",
         help="what to produce: 'ast' prints the parse tree, 'nir' the "
-        "optimized per-switch NIR, 'p4' writes per-switch .p4 + reports "
-        "(default), 'artifact' writes one repro.nclc/1 JSON artifact "
-        "loadable with CompiledProgram.load",
+        "optimized per-switch NIR, 'absint' the abstract-interpretation "
+        "facts (value ranges + known bits) per switch kernel, 'p4' writes "
+        "per-switch .p4 + reports (default), 'artifact' writes one "
+        "repro.nclc/1 JSON artifact loadable with CompiledProgram.load",
+    )
+    parser.add_argument(
+        "--verify-opt",
+        action="store_true",
+        help="translation-validate every optimization pass: snapshot each "
+        "kernel before the pass, then check the output via differential "
+        "interpretation + abstract invariants; a miscompile fails the "
+        "build naming the offending pass",
     )
     parser.add_argument(
         "--cache",

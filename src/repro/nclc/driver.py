@@ -125,6 +125,34 @@ class CompiledProgram:
                 return name
         return None
 
+    # -- abstract-interpretation summaries ----------------------------------
+
+    def absint_facts(self):
+        """Per-switch abstract-interpretation facts (value ranges + known
+        bits) for the optimized kernels: label -> {fn name -> facts}.
+        Computed from ``switch_modules``, so it works on cache hits and
+        loaded artifacts alike."""
+        from repro.analysis.absint import analyze_module
+
+        label_ids = self.label_ids
+        return {
+            label: analyze_module(self.switch_modules[label], label_ids=label_ids)
+            for label in sorted(self.switch_modules)
+        }
+
+    def render_absint(self) -> str:
+        """Byte-deterministic dump of :meth:`absint_facts` (the output of
+        ``nclc build --emit absint``, golden-tested)."""
+        from repro.analysis.absint import render_module_facts
+
+        parts = []
+        for label, facts in self.absint_facts().items():
+            parts.append(
+                f"; ===== switch {label} (absint facts, -O{self.opt_level}) =====\n"
+                + render_module_facts(facts)
+            )
+        return "\n".join(parts)
+
     # -- the repro.nclc/1 artifact ------------------------------------------
 
     def to_json(self) -> str:
@@ -168,6 +196,7 @@ class Compiler:
         split_arrays: Union[bool, str] = "auto",
         opt_level: int = 2,
         cache=None,
+        verify_opt: bool = False,
     ):
         from repro.nir.passes import OPT_LEVELS
 
@@ -186,6 +215,8 @@ class Compiler:
         self.opt_level = opt_level
         #: optional repro.nclc.cache.ArtifactCache consulted per compile
         self.cache = cache
+        #: translation-validate every optimization pass (--verify-opt)
+        self.verify_opt = verify_opt
 
     def compile(
         self,
@@ -216,7 +247,12 @@ class Compiler:
                 max_unroll=self.max_unroll,
                 split_arrays=self.split_arrays,
             )
-            cached = self.cache.get(cache_key, trace=trace)
+            # A cache hit would skip the optimization passes entirely, so
+            # there would be nothing for the validator to check; verified
+            # builds always run the pipeline.
+            cached = None if self.verify_opt else self.cache.get(
+                cache_key, trace=trace
+            )
             if cached is not None:
                 return CompiledProgram.from_json(cached)
 
@@ -231,6 +267,7 @@ class Compiler:
                 "opt_level": self.opt_level,
                 "max_unroll": self.max_unroll,
                 "split_arrays": self.split_arrays,
+                "verify_opt": self.verify_opt,
             },
             trace=trace,
             sink=sink,

@@ -57,7 +57,7 @@ from repro.nclc.versioning import version_module
 
 #: Version string baked into every artifact and cache key. Bump on any
 #: change that alters generated artifacts without changing pass names.
-NCLC_VERSION = "nclc-1.0.0"
+NCLC_VERSION = "nclc-1.1.0"
 
 
 class PipelineContext:
@@ -408,15 +408,30 @@ def _pass_host_opt(ctx: PipelineContext) -> None:
     module: ir.Module = ctx.get("module")
     opt_level = int(ctx.opt("opt_level", 2))
     host_stats = ctx.stats.setdefault("host", PassStats())
+    label_ids = _verify_opt_label_ids(ctx)
     for fn in module.kernels():
+        validator = None
+        if ctx.opt("verify_opt"):
+            from repro.analysis.transval import make_validator
+
+            validator = make_validator(module, fn, label_ids=label_ids)
         run_function_pipeline(
             fn,
             host_pipeline(opt_level),
             stats=host_stats,
             trace=ctx.trace,
             stage="host",
+            validator=validator,
         )
     ctx.put("host-opt-done", True)
+
+
+def _verify_opt_label_ids(ctx: PipelineContext):
+    """Label->id map for the --verify-opt interpreter runs (the AND is
+    resolved before either opt pass, but only consult it when needed)."""
+    if not ctx.opt("verify_opt"):
+        return None
+    return ctx.get("and_spec").label_ids()
 
 
 @register_compile_pass(
@@ -456,6 +471,18 @@ def _pass_switch_opt(ctx: PipelineContext) -> None:
             pipeline = list(switch_pipeline(opt_level))
             if not config.ext:
                 pipeline = [p for p in pipeline if p != "specialize-window"]
+            validator = None
+            if ctx.opt("verify_opt"):
+                from repro.analysis.transval import make_validator
+
+                label_ids = _verify_opt_label_ids(ctx)
+                validator = make_validator(
+                    version.module,
+                    fn,
+                    window_spec=config.ext,
+                    label_ids=label_ids,
+                    location_id=label_ids.get(version.label, 0),
+                )
             run_function_pipeline(
                 fn,
                 pipeline,
@@ -463,6 +490,7 @@ def _pass_switch_opt(ctx: PipelineContext) -> None:
                 trace=ctx.trace,
                 stage=version.label,
                 options={"window_spec": config.ext, "max_trips": max_unroll},
+                validator=validator,
             )
             kernels.append((fn, layouts[fn.name]))
         # Arch-specific transformation: split register arrays when the
@@ -485,6 +513,31 @@ def _pass_switch_opt(ctx: PipelineContext) -> None:
     ctx.put("compiled_kernels", compiled)
     ctx.put("split_info", split_info)
     ctx.put("switch_modules", switch_modules)
+
+
+@register_compile_pass(
+    "absint",
+    requires=("switch_modules", "and_spec"),
+    provides=("absint_facts",),
+    analysis=True,
+    about="per-kernel abstract-interpretation summaries (intervals + known-bits)",
+)
+def _pass_absint(ctx: PipelineContext) -> None:
+    """Cached analysis: value-range + known-bits facts for every switch
+    kernel. Not part of the build preset; any pass requiring
+    ``absint_facts`` gets it (re)computed on demand, and transforms that
+    do not preserve it invalidate it like any other analysis."""
+    from repro.analysis.absint import analyze_module
+
+    label_ids = ctx.get("and_spec").label_ids()
+    switch_modules = ctx.get("switch_modules")
+    ctx.put(
+        "absint_facts",
+        {
+            label: analyze_module(switch_modules[label], label_ids=label_ids)
+            for label in sorted(switch_modules)
+        },
+    )
 
 
 @register_compile_pass(

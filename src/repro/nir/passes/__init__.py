@@ -31,6 +31,7 @@ from repro.nir.passes.dce import eliminate_dead_code
 from repro.nir.passes.gvn import global_value_numbering
 from repro.nir.passes.inline import inline_calls
 from repro.nir.passes.memexpand import expand_memcpy
+from repro.nir.passes.rangesimplify import simplify_ranges
 from repro.nir.passes.regsplit import SplitInfo, split_register_arrays
 from repro.nir.passes.simplify_cfg import simplify_cfg
 from repro.nir.passes.specialize import specialize_location, specialize_window
@@ -48,6 +49,7 @@ __all__ = [
     "global_value_numbering",
     "inline_calls",
     "simplify_cfg",
+    "simplify_ranges",
     "specialize_location",
     "specialize_window",
     "split_register_arrays",
@@ -157,6 +159,12 @@ register_nir_pass(
     takes=("max_trips",),
 )
 register_nir_pass("memexpand", expand_memcpy, "expand memcpy into element accesses")
+register_nir_pass(
+    "rangesimplify",
+    simplify_ranges,
+    "materialize abstractly-proved constants (intervals + known-bits)",
+    takes=("window_spec",),
+)
 register_nir_pass("storefwd", forward_stores, "forward stored values into re-reads")
 register_nir_pass(
     "storemerge", merge_conditional_stores, "merge conditional stores (predication)"
@@ -179,7 +187,7 @@ _CLEANUP_O0 = ("constfold", "simplifycfg", "verify")
 HOST_PIPELINES: Dict[int, Tuple[str, ...]] = {
     0: ("inline", "mem2reg", "verify", *_CLEANUP_O0),
     1: ("inline", "mem2reg", "verify", *_CLEANUP_O1),
-    2: ("inline", "mem2reg", "verify", *_CLEANUP),
+    2: ("inline", "mem2reg", "verify", *_CLEANUP, "rangesimplify", *_CLEANUP),
 }
 
 #: The device pipeline front half per opt level: SSA, specialization,
@@ -213,6 +221,8 @@ SWITCH_PIPELINES: Dict[int, Tuple[str, ...]] = {
         *_CLEANUP,
         "memexpand", "storefwd", "storemerge", "storefwd",
         "verify",
+        *_CLEANUP,
+        "rangesimplify",
         *_CLEANUP,
     ),
 }
@@ -250,6 +260,7 @@ def run_function_pipeline(
     trace=None,
     stage: str = "",
     options: Optional[Mapping[str, object]] = None,
+    validator=None,
 ) -> PassStats:
     """Run the named passes over *fn* in order.
 
@@ -257,6 +268,14 @@ def run_function_pipeline(
     ``max_trips``) to the passes that declared them via ``takes``.
     ``verify=False`` skips the registered ``verify`` steps (used by
     tests that build deliberately broken IR).
+
+    ``validator`` is the ``--verify-opt`` hook (duck-typed, see
+    :class:`repro.analysis.transval.PassValidator`): before each
+    transform pass it snapshots the function, afterwards it checks the
+    output against the snapshot (structural verify + differential
+    vectors + abstract-invariant comparison) and raises
+    :class:`repro.analysis.transval.TranslationValidationError` naming
+    the pass if the semantics changed.
     """
     stats = stats or PassStats()
     options = dict(options or {})
@@ -269,7 +288,10 @@ def run_function_pipeline(
                 _run_pass(trace, stage, name, npass.fn, fn)
             continue
         kwargs = {k: options[k] for k in npass.takes if k in options}
+        before = validator.snapshot(fn) if validator is not None else None
         stats.add(name, _run_pass(trace, stage, name, npass.fn, fn, **kwargs))
+        if validator is not None:
+            validator.check(name, before, fn)
     return stats
 
 

@@ -30,7 +30,10 @@ def clone_instr(instr: ir.Instr, vmap: ValueMap) -> ir.Instr:
     elif isinstance(instr, ir.UnOp):
         new = ir.UnOp(instr.op, vmap.value(instr.operands[0]), instr.ty)
     elif isinstance(instr, ir.Cast):
-        new = ir.Cast(instr.kind, vmap.value(instr.operands[0]), instr.ty)
+        new = ir.Cast(
+            instr.kind, vmap.value(instr.operands[0]), instr.ty,
+            explicit=instr.explicit,
+        )
     elif isinstance(instr, ir.Select):
         new = ir.Select(
             vmap.value(instr.operands[0]),
@@ -99,6 +102,7 @@ def clone_instr(instr: ir.Instr, vmap: ValueMap) -> ir.Instr:
         new = ir.Ret(vmap.value(instr.value) if instr.value is not None else None)
     else:
         raise ir.IrError(f"cannot clone {type(instr).__name__}")  # type: ignore[attr-defined]
+    new.loc = instr.loc
     return new
 
 

@@ -1,0 +1,59 @@
+"""Range-guided simplification: materialize abstractly-proved constants.
+
+Runs the abstract interpreter (:mod:`repro.analysis.absint`) over the
+function and rewrites every *use* of a value whose interval+known-bits
+facts pin it to a single representative into an :class:`ir.Const`.
+Branch conditions with a proved direction become constant conditions.
+
+This deliberately only touches uses: the defining instruction stays in
+place (it may have side effects or trap; DCE removes it when it is
+actually dead), and the constant conditions are folded away by the
+``simplifycfg`` round the -O2 pipelines schedule right after this pass.
+
+What this catches that constant folding cannot: facts that flow through
+the known-bits domain (``(x | 9) & 1`` is 1 for every x) or through
+interval joins across control flow.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.nir import ir
+
+
+def simplify_ranges(
+    fn: ir.Function, window_spec: Optional[Mapping[str, int]] = None
+) -> int:
+    # Imported lazily: repro.analysis.__init__ pulls in the lint pipeline,
+    # which imports the nclc layer, which imports this package.
+    from repro.analysis.absint import analyze_function
+
+    facts = analyze_function(fn, win_ext=dict(window_spec or {}))
+    changed = 0
+    for block in fn.blocks:
+        if block not in facts.reachable:
+            continue
+        for instr in block.instrs:
+            for idx, op in enumerate(instr.operands):
+                if not isinstance(op, ir.Instr) or op is instr:
+                    continue
+                val = facts.values.get(op)
+                if val is None or not val.is_singleton:
+                    continue
+                const = ir.Const(op.ty, val.lo)
+                if isinstance(instr, ir.Phi):
+                    instr.set_incoming(idx, const)
+                else:
+                    instr.operands[idx] = const
+                changed += 1
+            if isinstance(instr, ir.CondBr) and not isinstance(
+                instr.cond, ir.Const
+            ):
+                decided = facts.branch_decisions.get(instr)
+                if decided is not None:
+                    instr.operands[0] = ir.Const(
+                        instr.cond.ty, 1 if decided else 0
+                    )
+                    changed += 1
+    return changed

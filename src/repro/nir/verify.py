@@ -17,9 +17,32 @@ from repro.nir.cfg import DominatorTree
 def verify_function(fn: ir.Function) -> None:
     if not fn.blocks:
         raise IrError(f"{fn.name}: function has no blocks")
+    _verify_uniqueness(fn)
     _verify_terminators(fn)
     _verify_phis(fn)
     _verify_dominance(fn)
+
+
+def _verify_uniqueness(fn: ir.Function) -> None:
+    """Each instruction object appears in exactly one block, once -- a
+    pass that moves code by appending without removing corrupts every
+    later analysis keyed by instruction identity."""
+    seen: Dict[ir.Instr, str] = {}
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if instr in seen:
+                raise IrError(
+                    f"{fn.name}: %{instr.id} appears in both "
+                    f"{seen[instr]} and {block.label}"
+                )
+            seen[instr] = block.label
+    entry = fn.entry
+    for instr in entry.instrs:
+        if isinstance(instr, ir.Phi):
+            raise IrError(
+                f"{fn.name}/{entry.label}: phi %{instr.id} in the entry "
+                "block (the entry has no predecessors)"
+            )
 
 
 def verify_module(module: ir.Module) -> None:

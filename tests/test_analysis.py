@@ -201,17 +201,90 @@ class TestArithmeticRules:
 
     def test_shift_out_of_range(self):
         src = "_net_ _out_ void k(int *d) { d[0] = d[1] << 40; }"
-        found = warnings_with(lint(src, rules=["overflow"]), "NCL0802")
+        found = warnings_with(lint(src, rules=["shift-range"]), "NCL0802")
         assert len(found) == 1
+        # a constant out-of-range amount is proved, hence error-grade
+        assert found[0].status == "proved"
+        assert found[0].severity is Severity.ERROR
 
     def test_shift_in_range_is_clean(self):
         src = "_net_ _out_ void k(int *d) { d[0] = d[1] << 3; }"
-        assert codes(lint(src, rules=["overflow"])) == []
+        assert codes(lint(src, rules=["shift-range"])) == []
+
+    def test_variable_shift_range_graded_possible(self):
+        src = (
+            "_net_ _out_ void k(unsigned *d) { d[0] = d[1] >> (d[2] & 63); }"
+        )
+        found = warnings_with(lint(src, rules=["shift-range"]), "NCL0802")
+        assert len(found) == 1
+        assert found[0].status == "possible"
+        assert found[0].severity is Severity.WARNING
+
+    def test_variable_shift_masked_in_range_is_clean(self):
+        src = (
+            "_net_ _out_ void k(unsigned *d) { d[0] = d[1] >> (d[2] & 31); }"
+        )
+        assert codes(lint(src, rules=["shift-range"])) == []
 
     def test_constant_overflow(self):
         src = "_net_ _out_ void k(int *d) { d[0] = 2000000000 + 2000000000; }"
         found = warnings_with(lint(src, rules=["overflow"]), "NCL0803")
         assert len(found) == 1
+        assert found[0].status == "proved"
+        assert found[0].severity is Severity.ERROR
+
+    def test_unknown_operands_do_not_flag_overflow(self):
+        # d[0] + d[1] can of course wrap, but both ranges are full-width
+        # unknowns: flagging this would flag half of every program
+        src = "_net_ _out_ void k(int *d) { d[0] = d[0] + d[1]; }"
+        assert codes(lint(src, rules=["overflow"])) == []
+
+    def test_div_by_zero_graded(self):
+        proved = "_net_ _out_ void k(unsigned *d) { d[0] = d[1] / (d[2] & 0); }"
+        found = warnings_with(lint(proved, rules=["div-by-zero"]), "NCL0805")
+        assert len(found) == 1 and found[0].status == "proved"
+        maybe = "_net_ _out_ void k(unsigned *d) { d[0] = d[1] / (d[2] & 3); }"
+        found = warnings_with(lint(maybe, rules=["div-by-zero"]), "NCL0805")
+        assert len(found) == 1 and found[0].status == "possible"
+        # (NCL0602, the conformance complaint about non-power-of-two
+        # divisors, still fires -- only the zero-divisor finding is gone)
+        clean = "_net_ _out_ void k(unsigned *d) { d[0] = d[1] / ((d[2] & 3) | 4); }"
+        assert warnings_with(lint(clean, rules=["div-by-zero"]), "NCL0805") == []
+
+    def test_dead_branch_proved_only(self):
+        src = (
+            "_net_ _out_ void k(unsigned *d) {\n"
+            "  unsigned low = d[0] & 7;\n"
+            "  if (low > 9) { d[1] = 1; }\n"
+            "}\n"
+        )
+        found = warnings_with(lint(src, rules=["dead-branch"]), "NCL0706")
+        assert len(found) == 1
+        assert found[0].status == "proved"
+        assert "always false" in found[0].message
+        live = (
+            "_net_ _out_ void k(unsigned *d) {\n"
+            "  unsigned low = d[0] & 7;\n"
+            "  if (low > 3) { d[1] = 1; }\n"
+            "}\n"
+        )
+        assert codes(lint(live, rules=["dead-branch"])) == []
+
+    def test_truncation_suppressed_when_value_fits(self):
+        src = (
+            "_net_ _out_ void k(int *d) { short s = d[0] & 255; d[1] = s; }"
+        )
+        assert codes(lint(src, rules=["width-truncation"])) == []
+
+    def test_truncation_proved_when_value_never_fits(self):
+        src = (
+            "_net_ _out_ void k(int *d) {"
+            " short s = (d[0] & 255) + 70000; d[1] = s; }"
+        )
+        found = warnings_with(lint(src, rules=["width-truncation"]), "NCL0801")
+        assert len(found) == 1
+        assert found[0].status == "proved"
+        assert found[0].severity is Severity.ERROR
 
 
 class TestUsageRules:

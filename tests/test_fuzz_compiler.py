@@ -121,3 +121,40 @@ def test_fuzzed_kernel_differential(seed):
             raise AssertionError(
                 f"divergence for seed {seed} at window {i}:\n{source}"
             )
+
+
+@pytest.mark.parametrize("seed", range(24))
+def test_fuzzed_kernel_opt_differential(seed):
+    """Per-seed -O0 vs -O2 NIR differential, with every -O2 pass
+    additionally translation-validated during the compile (the
+    ``--verify-opt`` path): a miscompiling pass fails the build with a
+    TranslationValidationError naming it, which this test does *not*
+    swallow as an acceptable rejection."""
+    from tests.test_differential_opt import _make_schedule, _run_trajectory
+
+    source = KernelFuzzer(seed).kernel()
+    windows = {"fuzzed": WindowConfig(mask=(WINDOW,))}
+    try:
+        at_o0 = Compiler(opt_level=0).compile(
+            source, and_text=AND, windows=windows
+        )
+        at_o2 = Compiler(opt_level=2, verify_opt=True).compile(
+            source, and_text=AND, windows=windows
+        )
+    except Exception as exc:
+        from repro.errors import BackendRejection, ConformanceError
+
+        assert isinstance(exc, (BackendRejection, ConformanceError)), (
+            f"unexpected compile failure for seed {seed}:\n{source}\n{exc}"
+        )
+        return
+
+    case = dict(meta_ext={}, seq_range=8)
+    schedule = _make_schedule(at_o0, case, random.Random(f"fuzz:{seed}"))
+    trajectory_o0 = _run_trajectory(at_o0, schedule)
+    trajectory_o2 = _run_trajectory(at_o2, schedule)
+    assert len(trajectory_o0) == len(trajectory_o2) > 0
+    for i, (step0, step2) in enumerate(zip(trajectory_o0, trajectory_o2)):
+        assert step0 == step2, (
+            f"-O0/-O2 divergence for seed {seed} at step {i}:\n{source}"
+        )

@@ -103,7 +103,26 @@ class TestJsonOutput:
         second = capsys.readouterr().out
         assert first == second
         data = json.loads(first)
-        assert data["summary"] == {"errors": 1, "warnings": 6, "notes": 0}
+        assert data["summary"] == {"errors": 6, "warnings": 8, "notes": 0}
+
+    def test_status_field_grades_range_findings(self, capsys):
+        """Absint-graded findings carry "proved"/"possible"; others none."""
+        lint_main([str(REPO / DEMO), "--json"])
+        data = json.loads(capsys.readouterr().out)
+        by_code = {}
+        for diag in data["diagnostics"]:
+            by_code.setdefault(diag["code"], []).append(diag.get("status"))
+        assert by_code["NCL0706"] == ["proved"]
+        assert sorted(by_code["NCL0802"]) == ["possible", "proved"]
+        assert sorted(by_code["NCL0805"]) == ["possible", "proved"]
+        assert by_code["NCL0801"] == ["possible"]
+        assert by_code["NCL0701"] == [None, None]  # no range evidence
+        # proved findings are error severity, possible ones warnings
+        for diag in data["diagnostics"]:
+            if diag.get("status") == "proved":
+                assert diag["severity"] == "error"
+            elif diag.get("status") == "possible":
+                assert diag["severity"] == "warning"
 
 
 class TestGolden:
@@ -142,8 +161,8 @@ class TestGolden:
     def test_demo_seeds_every_advertised_code(self, result):
         _, res = result
         seeded = {d.code for d in res.sink.sorted()}
-        assert {"NCL0400", "NCL0701", "NCL0702", "NCL0703", "NCL0801",
-                "NCL0903"} <= seeded
+        assert {"NCL0400", "NCL0701", "NCL0702", "NCL0703", "NCL0706",
+                "NCL0801", "NCL0802", "NCL0805", "NCL0903"} <= seeded
         races = [d for d in res.sink.sorted() if d.code == "NCL0701"]
         assert len(races) == 2
         assert all(d.secondary for d in races)
@@ -154,6 +173,11 @@ class TestExamplesStayClean:
 
     def test_stats_example_file(self):
         assert lint_main([str(REPO / CLEAN), "--werror"]) == 0
+
+    def test_parity_example_file(self):
+        # parity.ncl's tag is *provably* constant, but the dead-branch /
+        # overflow rules must not flag straight-line provable arithmetic
+        assert lint_main([str(REPO / "examples/parity.ncl"), "--werror"]) == 0
 
     @pytest.mark.parametrize("app,defines", [
         ("allreduce.ALLREDUCE_NCL",
