@@ -39,14 +39,20 @@ def record_once(benchmark, fn):
 
 
 def maybe_obs():
-    """An enabled :class:`repro.obs.Observability` when ``REPRO_TRACE``
-    is set (its value names the directory trace files are written to),
-    else ``None`` -- the disabled fast path, so benchmark numbers with
-    tracing off are the real numbers.
+    """An enabled :class:`repro.obs.Observability` when any observability
+    env toggle is set, else ``None`` -- the disabled fast path, so
+    benchmark numbers with everything off are the real numbers.
 
-    ``REPRO_INT`` additionally turns on in-band telemetry stamping; a
-    numeric value sets the per-packet hop cap (default 8)."""
-    if not os.environ.get("REPRO_TRACE"):
+    * ``REPRO_TRACE=<dir>`` -- trace the run; artifacts land in <dir>;
+    * ``REPRO_INT`` -- in-band telemetry stamping; a numeric value sets
+      the per-packet hop cap (default 8);
+    * ``REPRO_PROFILE`` -- attach a wall-time :class:`~repro.obs.Profiler`;
+    * ``REPRO_SAMPLE=<us>`` -- attach a virtual-clock
+      :class:`~repro.obs.TimeSeriesSampler` at that bucket width."""
+    trace = os.environ.get("REPRO_TRACE")
+    profile = os.environ.get("REPRO_PROFILE")
+    sample = os.environ.get("REPRO_SAMPLE")
+    if not (trace or profile or sample):
         return None
     from repro.obs import Observability
 
@@ -56,7 +62,16 @@ def maybe_obs():
         from repro.obs import IntConfig
 
         int_cfg = IntConfig(max_hops=int(int_env) if int_env.isdigit() else 8)
-    return Observability(int_config=int_cfg)
+    profiler = sampler = None
+    if profile:
+        from repro.obs import Profiler
+
+        profiler = Profiler()
+    if sample:
+        from repro.obs import TimeSeriesSampler
+
+        sampler = TimeSeriesSampler(float(sample) * 1e-6)
+    return Observability(int_config=int_cfg, profiler=profiler, sampler=sampler)
 
 
 def maybe_artifact(program, name: str):
@@ -97,7 +112,10 @@ def registry_snapshot(network, obs=None) -> dict:
 def write_trace(obs, name: str) -> Optional[Path]:
     """Write the run's artifacts into $REPRO_TRACE: the Chrome trace
     JSON (for a viewer), the raw trace JSONL, and the lineage JSON --
-    the latter two are what ``python -m repro.obs.query`` reads."""
+    the latter two are what ``python -m repro.obs.query`` reads. When
+    the run carried a profiler / sampler / alert engine, their
+    ``repro.profile/1`` / ``repro.timeseries/1`` / ``repro.alerts/1``
+    documents (and a collapsed-stack flamegraph input) ride along."""
     if obs is None:
         return None
     from repro.obs.lineage import LineageIndex
@@ -112,9 +130,38 @@ def write_trace(obs, name: str) -> Optional[Path]:
     index = LineageIndex.from_events(obs.tracer.events)
     with open(outdir / f"{name}.lineage.json", "w") as fp:
         index.write_json(fp)
-    print(f"[obs] wrote {path} (+.jsonl, +lineage.json; "
+    extras = []
+    if obs.profiler is not None:
+        with open(outdir / f"{name}.profile.json", "w") as fp:
+            obs.profiler.write_json(fp)
+        with open(outdir / f"{name}.collapsed.txt", "w") as fp:
+            obs.profiler.write_collapsed(fp)
+        extras.append("+profile.json")
+    if obs.sampler is not None:
+        with open(outdir / f"{name}.timeseries.json", "w") as fp:
+            obs.sampler.write_json(fp)
+        extras.append("+timeseries.json")
+    if obs.health is not None:
+        with open(outdir / f"{name}.alerts.json", "w") as fp:
+            obs.health.write_json(fp)
+        extras.append("+alerts.json")
+    extra = (" " + " ".join(extras)) if extras else ""
+    print(f"[obs] wrote {path} (+.jsonl, +lineage.json{extra}; "
           f"{len(obs.tracer.events)} events, {len(index.windows)} windows)")
     return path
+
+
+def throughput_summary(profiler) -> Optional[dict]:
+    """The profiler's throughput meters for a results JSON. Wall-clock
+    derived, so informational rather than budget-deterministic; the
+    budget gate keeps only loose *floor* budgets on these."""
+    if profiler is None:
+        return None
+    return {
+        "events_per_sec": round(profiler.events_per_sec(), 1),
+        "packets_per_sec": round(profiler.packets_per_sec(), 1),
+        "attributed_fraction": round(profiler.attributed_fraction(), 4),
+    }
 
 
 def lineage_summary(obs) -> Optional[dict]:

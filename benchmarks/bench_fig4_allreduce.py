@@ -26,6 +26,7 @@ from benchmarks._util import (
     print_table,
     record_once,
     registry_snapshot,
+    throughput_summary,
     write_trace,
 )
 
@@ -43,6 +44,11 @@ def one_round(n_workers: int, data_len: int, obs=None):
         f"fig4_allreduce_w{n_workers}",
     )
     inc = AllReduceJob(n_workers, data_len, WINDOW, obs=obs, program=program)
+    if obs is not None and obs.sampler is not None:
+        from repro.obs import attach_cluster_probes, attach_network_probes
+
+        attach_network_probes(obs.sampler, inc.cluster.network)
+        attach_cluster_probes(obs.sampler, inc.cluster)
     inc_res, inc_t = inc.run_round(arrays)
     assert inc_res[0] == expected
 
@@ -74,6 +80,8 @@ def test_fig4_worker_scaling(benchmark):
             summary = lineage_summary(obs)
             if summary is not None:
                 lineage[f"workers={n}"] = summary
+            if obs is not None and obs.sampler is not None:
+                obs.sampler.finish(inc.cluster.now())
             write_trace(obs, f"fig4_allreduce_w{n}")
             rows.append(
                 [
@@ -172,3 +180,14 @@ def test_fig4_single_round_latency(benchmark):
     # registry snapshot is collected post-hoc from the component stats.
     benchmark.extra_info["metrics"] = registry_snapshot(job.cluster.network)
     assert results[0] == AllReduceJob.expected(arrays)
+
+    # One profiled round for the throughput meters: events/sec and
+    # packets/sec land in the results JSON (and the budget gate keeps
+    # loose floors on them via check_budget.py).
+    from repro.obs import Observability, Profiler
+
+    profiler = Profiler()
+    job_prof = AllReduceJob(4, 256, WINDOW, obs=Observability(profiler=profiler))
+    prof_results, _ = job_prof.run_round(arrays)
+    assert prof_results[0] == AllReduceJob.expected(arrays)
+    benchmark.extra_info["throughput"] = throughput_summary(profiler)

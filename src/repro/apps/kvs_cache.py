@@ -210,7 +210,10 @@ class KvsCluster:
             else:
                 respond(self.store.get(key, [0] * self.val_words))
 
-        host.node.sim.schedule(self.server_delay, work)
+        host.node.sim.schedule(
+            self.server_delay, work,
+            label=f"host;{host.node.name};kvs-server",
+        )
 
     # -- client role ------------------------------------------------------------------
 

@@ -81,7 +81,9 @@ class HostOnlyKvs:
             )
             self.server.transmit(response, client_node)
 
-        self.net.sim.schedule(self.server_delay, work)
+        self.net.sim.schedule(
+            self.server_delay, work, label=f"host;{self.server.name};kvs-server"
+        )
 
     # -- clients -----------------------------------------------------------------
 

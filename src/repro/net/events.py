@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -13,18 +14,24 @@ from repro.obs.context import NULL_OBS
 class Simulator:
     """A minimal discrete-event scheduler.
 
-    Events are (time, tiebreak-seq, callback) triples on a heap; the
-    tiebreak keeps simultaneous events in schedule order, which makes
-    runs fully deterministic.
+    Events are (time, tiebreak-seq, label, callback) entries on a heap;
+    the tiebreak keeps simultaneous events in schedule order, which
+    makes runs fully deterministic. The *label* (optional, supplied by
+    the scheduling site as ``"component;instance;handler"``) is what the
+    continuous profiler attributes wall time to.
 
     The simulator also carries the run's observability context
     (:attr:`obs`, default :data:`~repro.obs.context.NULL_OBS`): every
     component that can reach the simulator reaches tracing and metrics
     the same way, and the virtual clock is the one clock traces use.
+    When the context carries a profiler or a time-series sampler, the
+    run loop switches to an instrumented variant; without them it is the
+    same tight loop as always, so disabled-observability numbers stay
+    the real numbers.
     """
 
     def __init__(self) -> None:
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[float, int, Optional[str], Callable[[], None]]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self.events_processed = 0
@@ -33,24 +40,44 @@ class Simulator:
     def now(self) -> float:
         return self._now
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        label: Optional[str] = None,
+    ) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), callback))
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._seq), label, callback)
+        )
 
-    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        label: Optional[str] = None,
+    ) -> None:
         if when < self._now:
             raise SimulationError(f"cannot schedule at {when} < now {self._now}")
-        heapq.heappush(self._queue, (when, next(self._seq), callback))
+        heapq.heappush(self._queue, (when, next(self._seq), label, callback))
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
         """Drain the queue (optionally up to simulated time *until*).
 
         Returns the simulation time when processing stopped.
         """
+        obs = self.obs
+        profiler = obs.profiler if obs.enabled else None
+        sampler = obs.sampler if obs.enabled else None
+        if profiler is None and sampler is None:
+            return self._run_fast(until, max_events)
+        return self._run_instrumented(until, max_events, profiler, sampler)
+
+    def _run_fast(self, until: Optional[float], max_events: int) -> float:
         processed = 0
         while self._queue:
-            when, _, callback = self._queue[0]
+            when, _, _, callback = self._queue[0]
             if until is not None and when > until:
                 self._now = until
                 return self._now
@@ -67,6 +94,45 @@ class Simulator:
             self._now = max(self._now, until)
         return self._now
 
+    def _run_instrumented(
+        self, until: Optional[float], max_events: int, profiler, sampler
+    ) -> float:
+        """The same loop with wall-time attribution per event (profiler)
+        and virtual-clock boundary sampling (time-series sampler)."""
+        processed = 0
+        loop_t0 = perf_counter()
+        try:
+            while self._queue:
+                when, _, label, callback = self._queue[0]
+                if until is not None and when > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._queue)
+                if sampler is not None:
+                    # Boundaries at or before this event's time sample the
+                    # state *before* the event runs, so identical runs
+                    # sample identical states.
+                    sampler.advance(when)
+                self._now = when
+                if profiler is not None:
+                    t0 = perf_counter()
+                    callback()
+                    profiler.record(label, callback, when, perf_counter() - t0)
+                else:
+                    callback()
+                processed += 1
+                self.events_processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events (livelock?)"
+                    )
+            if until is not None:
+                self._now = max(self._now, until)
+            return self._now
+        finally:
+            if profiler is not None:
+                profiler.add_loop_wall(perf_counter() - loop_t0)
+
     def run_until_idle(self) -> float:
         return self.run()
 
@@ -75,9 +141,19 @@ class Simulator:
         (used by blocking host APIs that co-simulate the network)."""
         if not self._queue:
             return False
-        when, _, callback = heapq.heappop(self._queue)
+        obs = self.obs
+        profiler = obs.profiler if obs.enabled else None
+        sampler = obs.sampler if obs.enabled else None
+        when, _, label, callback = heapq.heappop(self._queue)
+        if sampler is not None:
+            sampler.advance(when)
         self._now = when
-        callback()
+        if profiler is not None:
+            t0 = perf_counter()
+            callback()
+            profiler.record(label, callback, when, perf_counter() - t0)
+        else:
+            callback()
         self.events_processed += 1
         return True
 

@@ -14,22 +14,27 @@ if TYPE_CHECKING:
 
 
 class LinkStats:
-    """Per-link accounting; drops are split by cause so a lossy run and
-    a congested run are distinguishable in a registry snapshot."""
+    """Per-link accounting; drops are split by cause so a lossy run, a
+    congested run and a failed-link run are distinguishable in a
+    registry snapshot."""
 
-    __slots__ = ("frames", "bytes", "drops_loss", "drops_overflow", "busy_time")
+    __slots__ = (
+        "frames", "bytes", "drops_loss", "drops_overflow", "drops_down",
+        "busy_time",
+    )
 
     def __init__(self) -> None:
         self.frames = 0
         self.bytes = 0
         self.drops_loss = 0
         self.drops_overflow = 0
+        self.drops_down = 0
         self.busy_time = 0.0
 
     @property
     def drops(self) -> int:
         """Total drops, all causes (backward-compatible view)."""
-        return self.drops_loss + self.drops_overflow
+        return self.drops_loss + self.drops_overflow + self.drops_down
 
 
 class Link:
@@ -64,6 +69,9 @@ class Link:
         self.queue_limit_bytes = queue_limit_bytes
         self._rng = random.Random(seed)
         self._free_at = {a: 0.0, b: 0.0}
+        #: administrative state; a downed link eats every frame (the
+        #: chaos harness's link-failure injection point)
+        self.up = True
         self.stats = LinkStats()
         self.port_at = {
             a: a.attach_link(self),
@@ -123,10 +131,23 @@ class Link:
                     ),
                 )
 
+    def set_down(self) -> None:
+        """Fail the link: every subsequent frame drops with cause
+        ``down`` until :meth:`set_up`."""
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+
     def transmit(self, sim: "Simulator", sender: "Node", data: bytes) -> None:
         """Send a frame from *sender* to the other end."""
         receiver = self.other(sender)
         obs = sim.obs
+        if not self.up:
+            self.stats.drops_down += 1
+            if obs.enabled:
+                self._trace_drop(obs, sim, sender, receiver, data, "down")
+            return
         if self.loss > 0 and self._rng.random() < self.loss:
             self.stats.drops_loss += 1
             if obs.enabled:
@@ -164,7 +185,11 @@ class Link:
                 args=args,
             )
         in_port = self.port_at[receiver]
-        sim.schedule_at(arrival, lambda: receiver.handle_frame(data, in_port))
+        sim.schedule_at(
+            arrival,
+            lambda: receiver.handle_frame(data, in_port),
+            label=receiver.prof_rx_label,
+        )
 
     def __repr__(self) -> str:
         return f"Link({self.a.name} <-> {self.b.name})"

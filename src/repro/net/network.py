@@ -101,6 +101,26 @@ class Network:
         self.links.append(link)
         return link
 
+    def link_between(self, a: str, b: str) -> Link:
+        """The (first) link whose endpoints are named *a* and *b*."""
+        for link in self.links:
+            if {link.a.name, link.b.name} == {a, b}:
+                return link
+        raise SimulationError(f"no link between {a!r} and {b!r}")
+
+    def fail_link(self, a: str, b: str, at: Optional[float] = None) -> Link:
+        """Inject a link failure: immediately, or at virtual time ``at``
+        (scheduled on the simulator, so the failure lands
+        deterministically mid-run)."""
+        link = self.link_between(a, b)
+        if at is None:
+            link.set_down()
+        else:
+            self.sim.schedule_at(
+                at, link.set_down, label=f"link;{a}<->{b};fail"
+            )
+        return link
+
     # -- routing -------------------------------------------------------------------
 
     def graph(self) -> nx.Graph:

@@ -26,6 +26,9 @@ class NodeStats:
 class Node:
     """Base network node with numbered ports."""
 
+    #: profiler component kind for schedule labels (see repro.obs.profile)
+    PROF_KIND = "node"
+
     def __init__(self, name: str, node_id: int, sim: "Simulator"):
         self.name = name
         self.node_id = node_id
@@ -34,6 +37,9 @@ class Node:
         #: next-hop port by destination node id (installed at deploy time)
         self.routes: Dict[int, int] = {}
         self.stats = NodeStats()
+        #: schedule label for frame arrivals at this node -- the count of
+        #: these events is the profiler's packets/sec numerator
+        self.prof_rx_label = f"{self.PROF_KIND};{name};rx"
 
     def attach_link(self, link: "Link") -> int:
         self.links.append(link)
@@ -69,12 +75,15 @@ class HostNode(Node):
     UDP port).
     """
 
+    PROF_KIND = "host"
+
     #: model of the host networking stack's per-frame processing delay
     PROCESS_DELAY = 2e-6
 
     def __init__(self, name: str, node_id: int, sim: "Simulator"):
         super().__init__(name, node_id, sim)
         self.receiver: Optional[Callable[[bytes], None]] = None
+        self._prof_deliver = f"host;{name};deliver"
 
     def handle_frame(self, data: bytes, in_port: int) -> None:
         self.stats.rx_frames += 1
@@ -100,7 +109,9 @@ class HostNode(Node):
                 track=f"host {self.name}", cat="host", args=args,
             )
         receiver = self.receiver
-        self.sim.schedule(self.PROCESS_DELAY, lambda: receiver(data))
+        self.sim.schedule(
+            self.PROCESS_DELAY, lambda: receiver(data), label=self._prof_deliver
+        )
 
     def transmit(self, data: bytes, dst_node_id: int) -> None:
         """Send a frame toward a destination (single-homed hosts just use
@@ -125,6 +136,8 @@ class PythonSwitchNode(Node):
     every port except the ingress.
     """
 
+    PROF_KIND = "switch"
+
     PIPELINE_DELAY = 1e-6
 
     def __init__(
@@ -136,6 +149,7 @@ class PythonSwitchNode(Node):
     ):
         super().__init__(name, node_id, sim)
         self.program = program
+        self._prof_program = f"switch;{name};program"
 
     def handle_frame(self, data: bytes, in_port: int) -> None:
         self.stats.rx_frames += 1
@@ -152,4 +166,4 @@ class PythonSwitchNode(Node):
                 else:
                     self.send(out_data, out_port)
 
-        self.sim.schedule(self.PIPELINE_DELAY, run)
+        self.sim.schedule(self.PIPELINE_DELAY, run, label=self._prof_program)

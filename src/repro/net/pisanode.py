@@ -26,9 +26,12 @@ class PisaSwitchNode(Node):
 
     PIPELINE_DELAY = 1e-6
 
+    PROF_KIND = "switch"
+
     def __init__(self, name: str, node_id: int, sim: "Simulator", switch: PisaSwitch):
         super().__init__(name, node_id, sim)
         self.switch = switch
+        self._prof_pipeline = f"switch;{name};pipeline"
 
     def install_route(self, dst_node_id: int, port: int) -> None:
         """Install both the simulator next-hop and the P4 table entry."""
@@ -113,7 +116,7 @@ class PisaSwitchNode(Node):
                 return
             self._forward(result, (egress,), int_cfg)
 
-        self.sim.schedule(self.PIPELINE_DELAY, run)
+        self.sim.schedule(self.PIPELINE_DELAY, run, label=self._prof_pipeline)
 
     # -- in-band telemetry hooks ---------------------------------------------
 

@@ -18,8 +18,12 @@ branch.
 
 from repro.obs.compiler import CompileTrace, ir_size
 from repro.obs.context import NULL_OBS, Observability
+from repro.obs.flight import FlightRecorder, flight_guard, validate_bundle
+from repro.obs.health import AlertEngine, AlertRule, parse_rule
 from repro.obs.int import IntConfig, IntError, IntStack, carries_int, peek_stack
 from repro.obs.netmetrics import SwitchPacketTrace, collect_network_metrics
+from repro.obs.profile import Profiler
+from repro.obs.prom import render_prom
 from repro.obs.registry import (
     Counter,
     DEFAULT_BUCKETS,
@@ -29,12 +33,20 @@ from repro.obs.registry import (
     MetricsRegistry,
     ObservabilityError,
 )
+from repro.obs.timeseries import (
+    TimeSeriesSampler,
+    attach_cluster_probes,
+    attach_network_probes,
+)
 from repro.obs.trace import TraceEvent, Tracer
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
     "CompileTrace",
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "IntConfig",
@@ -45,11 +57,19 @@ __all__ = [
     "NULL_OBS",
     "Observability",
     "ObservabilityError",
+    "Profiler",
     "SwitchPacketTrace",
+    "TimeSeriesSampler",
     "TraceEvent",
     "Tracer",
+    "attach_cluster_probes",
+    "attach_network_probes",
     "carries_int",
     "collect_network_metrics",
+    "flight_guard",
     "ir_size",
+    "parse_rule",
     "peek_stack",
+    "render_prom",
+    "validate_bundle",
 ]

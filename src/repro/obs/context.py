@@ -44,6 +44,10 @@ class Observability:
         tracer: Optional[Tracer] = None,
         wall_clock: Optional[Callable[[], float]] = None,
         int_config=None,
+        profiler=None,
+        sampler=None,
+        health=None,
+        flight=None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
@@ -51,6 +55,27 @@ class Observability:
         #: an :class:`repro.obs.int.IntConfig` turns on in-band telemetry
         #: stamping for the run; None keeps the data plane untouched
         self.int_config = int_config
+        #: a :class:`repro.obs.profile.Profiler` switches the simulator
+        #: onto the instrumented run loop and attributes wall time
+        self.profiler = profiler
+        #: a :class:`repro.obs.timeseries.TimeSeriesSampler` samples
+        #: probes on virtual-clock bucket boundaries during the run
+        self.sampler = sampler
+        #: a :class:`repro.obs.health.AlertEngine`; evaluated on every
+        #: completed sampler bucket
+        self.health = health
+        #: a :class:`repro.obs.flight.FlightRecorder`; rides the tracer
+        #: as a sink and dumps bundles on escalation/failure
+        self.flight = flight
+        if flight is not None:
+            flight.bind(self)
+            self.tracer.add_sink(flight.record)
+        if health is not None:
+            health.bind(self)
+            if sampler is not None:
+                sampler.on_bucket(health.observe)
+            if flight is not None:
+                health.escalate_to(flight.trigger)
 
     def snapshot(self):
         """Registry snapshot (runs collectors)."""
@@ -70,6 +95,10 @@ class _NullObservability:
     tracer = None
     wall_clock = None
     int_config = None
+    profiler = None
+    sampler = None
+    health = None
+    flight = None
 
     def snapshot(self):
         return {}

@@ -1,0 +1,316 @@
+"""Declarative health alerting over virtual-clock time series.
+
+An :class:`AlertRule` watches one time-series stream (summed over the
+matching labelled series) and fires when its condition holds:
+
+* **threshold** -- the sampled value itself: ``link.qdepth_bytes > 4096``;
+* **rate** -- the windowed rate of a cumulative counter:
+  ``ncp.retransmits rate > 100000 over 10us``;
+* **absence** -- a counter made no progress over the window:
+  ``ncp.windows_received absent over 20us`` (a heartbeat rule).
+
+Rules are plain constructor calls or the one-line string form parsed by
+:func:`parse_rule`::
+
+    stalled: ncp.windows_received absent over 20us
+    drops: link.drops{cause=down} rate > 0 over 2us !critical
+
+(an optional leading ``name:``, an optional ``{k=v,...}`` label filter,
+an optional trailing ``!critical`` escalation marker).
+
+The :class:`AlertEngine` subscribes to a
+:class:`~repro.obs.timeseries.TimeSeriesSampler` (wired automatically by
+:class:`~repro.obs.context.Observability`) and evaluates every rule at
+every completed bucket boundary, so alerting is continuous over the
+run's virtual clock. Firing and resolving are recorded as
+``alert:firing`` / ``alert:resolved`` instants on the ``health`` trace
+track, collected into ``repro.alerts/1`` records that carry the
+triggering time-series window as evidence, and -- for ``!critical``
+rules -- escalated to the flight recorder, which dumps a diagnostic
+bundle the moment the run goes unhealthy.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Callable, Dict, IO, List, Optional
+
+from repro.obs.registry import ObservabilityError
+from repro.obs.timeseries import TimeSeriesSampler, rates
+
+ALERTS_SCHEMA = "repro.alerts/1"
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+_UNITS = {"s": 1.0, "ms": 1e-3, "us": 1e-6, "ns": 1e-9}
+
+
+def parse_duration(text: str) -> float:
+    """``"10us"`` -> 1e-5 (simulated seconds)."""
+    m = re.fullmatch(r"\s*([0-9.]+)\s*(s|ms|us|ns)\s*", text)
+    if not m:
+        raise ObservabilityError(
+            f"bad duration {text!r}; expected e.g. 10us, 1.5ms, 2s"
+        )
+    return float(m.group(1)) * _UNITS[m.group(2)]
+
+
+class AlertRule:
+    """One declarative rule over one (label-filtered) series stream."""
+
+    def __init__(
+        self,
+        name: str,
+        series: str,
+        mode: str = "value",
+        op: str = ">",
+        threshold: float = 0.0,
+        over: Optional[float] = None,
+        labels: Optional[Dict[str, str]] = None,
+        severity: str = "warning",
+    ):
+        if mode not in ("value", "rate", "absent"):
+            raise ObservabilityError(f"unknown alert mode {mode!r}")
+        if op not in _OPS:
+            raise ObservabilityError(f"unknown alert comparison {op!r}")
+        if mode in ("rate", "absent") and over is None:
+            raise ObservabilityError(
+                f"alert {name!r}: {mode} rules need an 'over' window"
+            )
+        if severity not in ("warning", "critical"):
+            raise ObservabilityError(f"unknown severity {severity!r}")
+        self.name = name
+        self.series = series
+        self.mode = mode
+        self.op = op
+        self.threshold = threshold
+        self.over = over
+        self.labels = dict(labels or {})
+        self.severity = severity
+
+    @property
+    def escalates(self) -> bool:
+        return self.severity == "critical"
+
+    def text(self) -> str:
+        """The canonical one-line form (parse_rule round-trips it)."""
+        sel = self.series
+        if self.labels:
+            inner = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+            sel += "{" + inner + "}"
+        if self.mode == "absent":
+            body = f"{sel} absent over {self.over * 1e6:g}us"
+        else:
+            body = f"{sel}{' rate' if self.mode == 'rate' else ''} " \
+                   f"{self.op} {self.threshold:g}"
+            if self.over is not None:
+                body += f" over {self.over * 1e6:g}us"
+        tail = " !critical" if self.severity == "critical" else ""
+        return f"{self.name}: {body}{tail}"
+
+    def __repr__(self) -> str:
+        return f"AlertRule({self.text()!r})"
+
+
+_RULE_RE = re.compile(
+    r"^\s*(?:(?P<name>[\w.-]+)\s*:)?\s*"
+    r"(?P<series>[\w.]+)\s*(?:\{(?P<labels>[^}]*)\})?\s*"
+    r"(?:(?P<absent>absent)|(?P<rate>rate)?\s*"
+    r"(?P<op>>=|<=|==|!=|>|<)\s*(?P<threshold>-?[0-9.eE+]+))"
+    r"(?:\s+over\s+(?P<over>[0-9.]+\s*(?:s|ms|us|ns)))?"
+    r"\s*(?P<crit>!critical)?\s*$"
+)
+
+
+def parse_rule(text: str) -> AlertRule:
+    """Parse the one-line rule form (see the module docstring)."""
+    m = _RULE_RE.match(text)
+    if not m:
+        raise ObservabilityError(
+            f"bad alert rule {text!r}; expected e.g. "
+            "'drops: link.drops rate > 0 over 2us !critical'"
+        )
+    labels: Dict[str, str] = {}
+    if m.group("labels"):
+        for part in m.group("labels").split(","):
+            if "=" not in part:
+                raise ObservabilityError(
+                    f"bad label filter {part!r} in alert rule {text!r}"
+                )
+            k, v = part.split("=", 1)
+            labels[k.strip()] = v.strip()
+    if m.group("absent"):
+        mode = "absent"
+        op, threshold = "==", 0.0
+    else:
+        mode = "rate" if m.group("rate") else "value"
+        op = m.group("op")
+        threshold = float(m.group("threshold"))
+    over = parse_duration(m.group("over")) if m.group("over") else None
+    return AlertRule(
+        name=m.group("name") or m.group("series"),
+        series=m.group("series"),
+        mode=mode,
+        op=op,
+        threshold=threshold,
+        over=over,
+        labels=labels,
+        severity="critical" if m.group("crit") else "warning",
+    )
+
+
+class Alert:
+    """One firing (and possibly resolved) instance of a rule."""
+
+    def __init__(self, rule: AlertRule, fired_at: float, value: float,
+                 window: List[List[float]]):
+        self.rule = rule
+        self.fired_at = fired_at
+        self.resolved_at: Optional[float] = None
+        self.value = value
+        #: the triggering evidence: [t, signal value] pairs over the
+        #: rule's window ending at the firing boundary
+        self.window = window
+
+    @property
+    def state(self) -> str:
+        return "resolved" if self.resolved_at is not None else "firing"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.rule.name,
+            "rule": self.rule.text(),
+            "series": self.rule.series,
+            "severity": self.rule.severity,
+            "state": self.state,
+            "fired_at": self.fired_at,
+            "resolved_at": self.resolved_at,
+            "value": self.value,
+            "threshold": self.rule.threshold,
+            "window": self.window,
+        }
+
+
+class AlertEngine:
+    """Evaluates every rule at every completed time-series bucket."""
+
+    def __init__(self, rules: Optional[List] = None):
+        self.rules: List[AlertRule] = []
+        for rule in rules or ():
+            self.add_rule(rule)
+        self.alerts: List[Alert] = []
+        self._active: Dict[str, Alert] = {}
+        self._tracer = None
+        self._escalate: Optional[Callable[[str, float], None]] = None
+
+    def add_rule(self, rule) -> AlertRule:
+        if isinstance(rule, str):
+            rule = parse_rule(rule)
+        if any(r.name == rule.name for r in self.rules):
+            raise ObservabilityError(f"duplicate alert rule name {rule.name!r}")
+        self.rules.append(rule)
+        return rule
+
+    # -- wiring (done by Observability) ----------------------------------------
+
+    def bind(self, obs) -> None:
+        self._tracer = obs.tracer
+
+    def escalate_to(self, fn: Callable[[str, float], None]) -> None:
+        """``fn(reason, virtual_time)`` runs once per critical firing
+        (the flight recorder's dump trigger)."""
+        self._escalate = fn
+
+    # -- evaluation ------------------------------------------------------------
+
+    def observe(self, sampler: TimeSeriesSampler, t: float, idx: int) -> None:
+        """Sampler bucket observer: evaluate every rule at boundary
+        ``idx`` (time ``t``)."""
+        for rule in self.rules:
+            signal = self._signal(rule, sampler, idx)
+            if signal is None:
+                continue
+            value, window = signal
+            firing = _OPS[rule.op](value, rule.threshold)
+            active = self._active.get(rule.name)
+            if firing and active is None:
+                alert = Alert(rule, t, value, window)
+                self._active[rule.name] = alert
+                self.alerts.append(alert)
+                self._emit("alert:firing", t, alert)
+                if rule.escalates and self._escalate is not None:
+                    self._escalate(f"alert:{rule.name}", t)
+            elif not firing and active is not None:
+                active.resolved_at = t
+                del self._active[rule.name]
+                self._emit("alert:resolved", t, active)
+
+    def _signal(self, rule: AlertRule, sampler: TimeSeriesSampler, idx: int):
+        """(current signal value, evidence window) for ``rule`` at
+        bucket ``idx``, or None while there is not yet enough history."""
+        points = sampler.summed(rule.series, rule.labels)
+        if not points:
+            return None
+        interval = sampler.interval
+        if rule.mode == "value":
+            upto = [(i, v) for i, v in points if i <= idx]
+            if not upto or upto[-1][0] != idx:
+                return None
+            tail = upto[-8:]
+            return upto[-1][1], [[i * interval, v] for i, v in tail]
+        # rate / absent: windowed delta of a cumulative counter
+        w = max(1, int(round(rule.over / interval)))
+        if idx < w:
+            return None
+        window_pts = [(i, v) for i, v in points if idx - w <= i <= idx]
+        if len(window_pts) < 2 or window_pts[-1][0] != idx:
+            return None
+        delta = window_pts[-1][1] - window_pts[0][1]
+        span = (window_pts[-1][0] - window_pts[0][0]) * interval
+        evidence = [[i * interval, v] for i, v in window_pts]
+        if rule.mode == "absent":
+            # fires while the counter makes no progress over the window
+            return delta, evidence
+        return delta / span, [
+            [i * interval, r] for i, r in rates(window_pts, interval)
+        ]
+
+    def _emit(self, name: str, t: float, alert: Alert) -> None:
+        if self._tracer is None:
+            return
+        self._tracer.instant(
+            name, t, track="health", cat="alert",
+            args={
+                "alert": alert.rule.name,
+                "rule": alert.rule.text(),
+                "severity": alert.rule.severity,
+                "value": alert.value,
+                "threshold": alert.rule.threshold,
+            },
+        )
+
+    # -- export ----------------------------------------------------------------
+
+    def firing(self) -> List[Alert]:
+        return [a for a in self.alerts if a.state == "firing"]
+
+    def export(self) -> Dict[str, object]:
+        """The ``repro.alerts/1`` document (byte-deterministic across
+        identical runs)."""
+        return {
+            "schema": ALERTS_SCHEMA,
+            "rules": [r.text() for r in self.rules],
+            "alerts": [a.as_dict() for a in self.alerts],
+        }
+
+    def write_json(self, fp: IO[str]) -> None:
+        json.dump(self.export(), fp, sort_keys=True)
+        fp.write("\n")

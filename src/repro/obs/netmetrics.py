@@ -49,6 +49,7 @@ def collect_network_metrics(net: "Network", registry: MetricsRegistry) -> None:
         g_busy.labels(link=name).set(link.stats.busy_time)
         g_drops.labels(link=name, cause="loss").set(link.stats.drops_loss)
         g_drops.labels(link=name, cause="overflow").set(link.stats.drops_overflow)
+        g_drops.labels(link=name, cause="down").set(link.stats.drops_down)
 
     n_rx_f = registry.gauge("node.rx_frames", "frames received", ("node",))
     n_rx_b = registry.gauge("node.rx_bytes", "bytes received", ("node",))

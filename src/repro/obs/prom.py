@@ -1,0 +1,94 @@
+"""Prometheus text-format exposition of registry snapshots.
+
+External tooling (Prometheus itself, promtool, Grafana agents) speaks
+the text exposition format; :func:`render_prom` turns the pure-data
+snapshot a :class:`~repro.obs.registry.MetricsRegistry` produces into
+that format so bench output is scrapeable:
+
+    python -m repro.obs.query export --metrics run.metrics.json --format prom
+
+Counters and gauges map directly; histogram summaries map to the
+``_bucket``/``_sum``/``_count`` triplet with cumulative ``le`` buckets
+(the snapshot already stores Prometheus-style cumulative counts).
+Metric names are sanitized to the Prometheus charset (dots become
+underscores); label values are escaped per the exposition spec.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, IO, List
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prom_name(name: str) -> str:
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{prom_name(k)}="{_escape(v)}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prom(snapshot: Dict[str, dict]) -> str:
+    """The whole registry snapshot as Prometheus text exposition."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family.get("kind", "gauge")
+        pname = prom_name(name)
+        if family.get("description"):
+            lines.append(f"# HELP {pname} {family['description']}")
+        ptype = {"counter": "counter", "gauge": "gauge",
+                 "histogram": "histogram"}.get(kind, "untyped")
+        lines.append(f"# TYPE {pname} {ptype}")
+        for series in family.get("series", ()):
+            labels = series.get("labels", {})
+            value = series.get("value")
+            if kind != "histogram":
+                lines.append(f"{pname}{_labels(labels)} {_fmt(value)}")
+                continue
+            summary = value or {}
+            buckets = summary.get("buckets", {})
+            for bound, cum in buckets.items():
+                le = "+Inf" if bound == "+Inf" else _fmt(float(bound))
+                le_pair = 'le="%s"' % _escape(le)
+                lines.append(f"{pname}_bucket{_labels(labels, le_pair)} {cum}")
+            if "+Inf" not in buckets and "count" in summary:
+                inf_pair = 'le="+Inf"'
+                lines.append(
+                    f"{pname}_bucket{_labels(labels, inf_pair)} "
+                    f"{summary['count']}"
+                )
+            lines.append(f"{pname}_sum{_labels(labels)} "
+                         f"{_fmt(summary.get('sum', 0))}")
+            lines.append(f"{pname}_count{_labels(labels)} "
+                         f"{summary.get('count', 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prom(snapshot: Dict[str, dict], fp: IO[str]) -> None:
+    fp.write(render_prom(snapshot))

@@ -12,6 +12,10 @@ Subcommands::
     slowest     delivered windows by emit-to-delivery latency
     drops       every drop, with cause and site
     stragglers  per-hop records above a latency percentile threshold
+    profile     where the wall time went (repro.profile/1 report)
+    timeseries  virtual-clock curves (repro.timeseries/1 dump)
+    alerts      health alerts, from an alerts doc or a flight bundle
+    export      re-render a metrics snapshot (e.g. Prometheus text)
 
 Examples::
 
@@ -20,6 +24,11 @@ Examples::
     python -m repro.obs.query slowest --trace run.trace.jsonl --top 10
     python -m repro.obs.query stragglers --lineage run.lineage.json \\
         --metrics run.metrics.json --percentile 99
+    python -m repro.obs.query profile --profile run.profile.json --top 10
+    python -m repro.obs.query timeseries --timeseries run.timeseries.json \\
+        --series link.drops --rate
+    python -m repro.obs.query alerts --flight flight-0.json
+    python -m repro.obs.query export --metrics run.metrics.json --format prom
 """
 
 from __future__ import annotations
@@ -31,6 +40,13 @@ import sys
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.obs.lineage import LineageError, LineageIndex
+from repro.obs.prom import render_prom
+from repro.obs.timeseries import rates as rate_curve
+
+
+def load_json(path: str) -> Dict:
+    with open(path) as fp:
+        return json.load(fp)
 
 
 def load_trace_events(path: str) -> List[Dict]:
@@ -108,6 +124,8 @@ def cmd_drops(args: argparse.Namespace) -> int:
     if not records:
         print("no drops in this run")
         return 0
+    if args.top:
+        records = records[: args.top]
     for window, branch, attempt, record in records:
         name = f"{window.kernel or window.kernel_id}:{window.seq}"
         origin = branch.label or index.node_names.get(branch.from_node) \
@@ -180,8 +198,12 @@ def cmd_stragglers(args: argparse.Namespace) -> int:
     if not slow:
         print("no hop records at or above the threshold")
         return 0
+    # Stable total order: latency desc, then every identifying field, so
+    # equal-latency records (common with quantized hop latencies) list
+    # identically across runs and platforms.
     slow.sort(key=lambda e: (-e["latency_ns"], str(e["kernel_id"]),
-                             e["seq"], e["attempt"]))
+                             e["seq"], e["attempt"], e["hop"],
+                             str(e["node"] or "")))
     for e in slow[: args.top]:
         name = f"{e['kernel'] or e['kernel_id']}:{e['seq']}"
         hop = f"{e['node']} (#{e['hop']})" if e["node"] else f"#{e['hop']}"
@@ -189,6 +211,168 @@ def cmd_stragglers(args: argparse.Namespace) -> int:
             f"  {name:<20} attempt={e['attempt']} hop {hop:<14} "
             f"latency={e['latency_ns']}ns qdepth={e['qdepth']}B"
         )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    report = load_json(args.profile)
+    if report.get("schema") != "repro.profile/1":
+        raise LineageError(
+            f"{args.profile} is not a repro.profile/1 report "
+            f"(schema={report.get('schema')!r})"
+        )
+    if args.format == "collapsed":
+        # Regenerate collapsed-stack lines from the saved report, so a
+        # flamegraph can still be rendered from the artifact alone.
+        for entry in sorted(report["entries"], key=lambda e: e["label"]):
+            us = max(1, int(round(entry["wall_s"] * 1e6)))
+            print(f"sim;{entry['label']} {us}")
+        return 0
+    total = report["total_wall_s"]
+    print(
+        f"total wall: {total * 1e3:.3f}ms over {report['events']} events "
+        f"({report['events_per_sec']:,.0f} events/s, "
+        f"{report['packets_per_sec']:,.0f} packets/s)"
+    )
+    print(
+        f"attributed to named components: "
+        f"{report['attributed_fraction'] * 100:.1f}%"
+    )
+    print(f"{'label':<32} {'count':>8} {'wall':>12} {'pct':>7} {'avg':>10}")
+    for entry in report["entries"][: args.top]:
+        print(
+            f"{entry['label']:<32} {entry['count']:>8} "
+            f"{entry['wall_s'] * 1e3:>10.3f}ms {entry['wall_pct']:>6.1f}% "
+            f"{entry['avg_us']:>8.2f}us"
+        )
+    return 0
+
+
+def parse_label_filter(text: Optional[str]) -> Dict[str, str]:
+    """``"link=w0<->s1,cause=down"`` -> dict."""
+    labels: Dict[str, str] = {}
+    for part in (text or "").split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise LineageError(f"bad --labels entry {part!r}; expected k=v")
+        k, v = part.split("=", 1)
+        labels[k.strip()] = v.strip()
+    return labels
+
+
+def _matching_series(doc: Dict, name: str, want: Dict[str, str]) -> List[Dict]:
+    return [
+        s for s in doc["series"]
+        if s["name"] == name
+        and all(s["labels"].get(k) == v for k, v in want.items())
+    ]
+
+
+def cmd_timeseries(args: argparse.Namespace) -> int:
+    doc = load_json(args.timeseries)
+    if doc.get("schema") != "repro.timeseries/1":
+        raise LineageError(
+            f"{args.timeseries} is not a repro.timeseries/1 dump "
+            f"(schema={doc.get('schema')!r})"
+        )
+    interval = doc["interval"]
+    if not args.series:
+        print(
+            f"{doc['buckets']} buckets of {interval * 1e6:g}us "
+            f"(end_time={doc['end_time']}); series:"
+        )
+        for series in doc["series"]:
+            labels = ",".join(f"{k}={v}" for k, v in series["labels"].items())
+            sel = series["name"] + ("{" + labels + "}" if labels else "")
+            print(f"  {sel:<48} {series['kind']:<8} {len(series['points'])} points")
+        return 0
+    want = parse_label_filter(args.labels)
+    matched = _matching_series(doc, args.series, want)
+    if not matched:
+        print(f"no series matching {args.series!r} labels {want}")
+        return 1
+    # Pointwise sum across matching series -- same shape alert rules see.
+    acc: Dict[int, float] = {}
+    for series in matched:
+        for idx, value in series["points"]:
+            acc[idx] = acc.get(idx, 0.0) + value
+    points = sorted(acc.items())
+    if args.rate:
+        points = rate_curve(points, interval)
+        unit = "/s"
+    else:
+        unit = ""
+    print(f"{args.series} over {len(matched)} series:")
+    for idx, value in points:
+        print(f"  t={idx * interval * 1e6:>10.3f}us  {value:g}{unit}")
+    return 0
+
+
+def cmd_alerts(args: argparse.Namespace) -> int:
+    if args.flight:
+        bundle = load_json(args.flight)
+        from repro.obs.flight import validate_bundle
+
+        problems = validate_bundle(bundle)
+        if problems:
+            for problem in problems:
+                print(f"invalid flight bundle: {problem}", file=sys.stderr)
+            return 2
+        doc = bundle.get("alerts")
+        print(
+            f"flight bundle: reason={bundle['reason']!r} "
+            f"t={bundle['virtual_time']} "
+            f"({len(bundle['events'])}/{bundle['events_seen']} events retained)"
+        )
+        if doc is None:
+            print("bundle carries no alert state (run had no AlertEngine)")
+            return 0
+    elif args.alerts:
+        doc = load_json(args.alerts)
+    else:
+        raise LineageError("pass --alerts <run.alerts.json> or --flight <bundle.json>")
+    if doc.get("schema") != "repro.alerts/1":
+        raise LineageError(
+            f"not a repro.alerts/1 document (schema={doc.get('schema')!r})"
+        )
+    print(f"{len(doc['rules'])} rules:")
+    for rule in doc["rules"]:
+        print(f"  {rule}")
+    alerts = doc["alerts"]
+    if not alerts:
+        print("no alerts fired")
+        return 0
+    print(f"{len(alerts)} alerts:")
+    for alert in alerts:
+        resolved = (
+            f"resolved at {alert['resolved_at'] * 1e6:.3f}us"
+            if alert["resolved_at"] is not None else "still firing"
+        )
+        print(
+            f"  [{alert['severity']}] {alert['name']}: value {alert['value']:g} "
+            f"vs threshold {alert['threshold']:g} -- fired at "
+            f"{alert['fired_at'] * 1e6:.3f}us, {resolved}"
+        )
+        if args.window:
+            for t, value in alert["window"]:
+                print(f"      t={t * 1e6:>10.3f}us  {value:g}")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    snapshot = load_json(args.metrics)
+    if args.format == "prom":
+        text = render_prom(snapshot)
+    else:  # json passthrough (normalized key order)
+        text = json.dumps(snapshot, sort_keys=True, indent=1) + "\n"
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w") as fp:
+            fp.write(text)
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -232,6 +416,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     drops = subs.add_parser("drops", help="every drop, with cause and site")
     _add_inputs(drops)
+    drops.add_argument("--top", type=int, default=0,
+                       help="show only the first N drops (default: all)")
     drops.set_defaults(fn=cmd_drops)
 
     stragglers = subs.add_parser(
@@ -243,6 +429,50 @@ def build_parser() -> argparse.ArgumentParser:
     stragglers.add_argument("--percentile", type=float, default=99.0)
     stragglers.add_argument("--top", type=int, default=20)
     stragglers.set_defaults(fn=cmd_stragglers)
+
+    profile = subs.add_parser(
+        "profile", help="where the wall time went (repro.profile/1)"
+    )
+    profile.add_argument("--profile", required=True,
+                         help="profile report JSON (Profiler.write_json)")
+    profile.add_argument("--top", type=int, default=20)
+    profile.add_argument("--format", choices=("table", "collapsed"),
+                         default="table")
+    profile.set_defaults(fn=cmd_profile)
+
+    timeseries = subs.add_parser(
+        "timeseries", help="virtual-clock curves (repro.timeseries/1)"
+    )
+    timeseries.add_argument("--timeseries", required=True,
+                            help="dump JSON (TimeSeriesSampler.write_json)")
+    timeseries.add_argument("--series",
+                            help="series name (omit to list all series)")
+    timeseries.add_argument("--labels",
+                            help="label filter, e.g. cause=down,link=w0<->s1")
+    timeseries.add_argument("--rate", action="store_true",
+                            help="show the per-bucket rate curve")
+    timeseries.set_defaults(fn=cmd_timeseries)
+
+    alerts = subs.add_parser(
+        "alerts", help="health alerts, from an alerts doc or flight bundle"
+    )
+    alerts.add_argument("--alerts",
+                        help="alerts JSON (AlertEngine.write_json)")
+    alerts.add_argument("--flight",
+                        help="flight bundle JSON (reconstructs alert state)")
+    alerts.add_argument("--window", action="store_true",
+                        help="also print each alert's evidence window")
+    alerts.set_defaults(fn=cmd_alerts)
+
+    export = subs.add_parser(
+        "export", help="re-render a metrics snapshot (Prometheus text)"
+    )
+    export.add_argument("--metrics", required=True,
+                        help="metrics snapshot JSON (Observability.snapshot)")
+    export.add_argument("--format", choices=("prom", "json"), default="prom")
+    export.add_argument("-o", "--output", default="-",
+                        help="output path (default: stdout)")
+    export.set_defaults(fn=cmd_export)
     return parser
 
 

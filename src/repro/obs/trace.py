@@ -66,13 +66,23 @@ class TraceEvent:
 
 
 class Tracer:
-    """An append-only event log (cheap enough to keep per-run)."""
+    """An append-only event log (cheap enough to keep per-run).
+
+    *Sinks* (:meth:`add_sink`) additionally receive every recorded
+    event as it happens -- how the bounded flight recorder keeps its
+    last-N ring without the tracer growing extra retention modes.
+    """
 
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
+        self._sinks: List = []
 
     def __len__(self) -> int:
         return len(self.events)
+
+    def add_sink(self, fn) -> None:
+        """``fn(event)`` runs for every subsequently recorded event."""
+        self._sinks.append(fn)
 
     # -- recording -------------------------------------------------------------
 
@@ -86,7 +96,10 @@ class Tracer:
         args: Optional[Dict] = None,
     ) -> None:
         """A duration event: [ts, ts+dur) in simulated seconds."""
-        self.events.append(TraceEvent(ts, dur, name, cat, track, args))
+        event = TraceEvent(ts, dur, name, cat, track, args)
+        self.events.append(event)
+        for sink in self._sinks:
+            sink(event)
 
     def instant(
         self,
@@ -96,7 +109,10 @@ class Tracer:
         cat: str = "sim",
         args: Optional[Dict] = None,
     ) -> None:
-        self.events.append(TraceEvent(ts, None, name, cat, track, args))
+        event = TraceEvent(ts, None, name, cat, track, args)
+        self.events.append(event)
+        for sink in self._sinks:
+            sink(event)
 
     # -- queries (mostly for tests and the timeline) ---------------------------
 

@@ -56,7 +56,7 @@ class Controller:
 
     def _apply(self, fn) -> None:
         if self.sim is not None and self.delay > 0:
-            self.sim.schedule(self.delay, fn)
+            self.sim.schedule(self.delay, fn, label="ctrl;controller;apply")
         else:
             fn()
 

@@ -1,0 +1,171 @@
+"""The health alert engine: rule parsing, evaluation, escalation."""
+
+import pytest
+
+from repro.obs import AlertEngine, AlertRule, Observability, TimeSeriesSampler
+from repro.obs.health import parse_duration, parse_rule
+from repro.obs.registry import ObservabilityError
+
+
+class TestRuleParsing:
+    def test_parse_duration(self):
+        assert parse_duration("10us") == pytest.approx(1e-5)
+        assert parse_duration("1.5ms") == pytest.approx(1.5e-3)
+        assert parse_duration("2s") == 2.0
+        assert parse_duration("500ns") == pytest.approx(5e-7)
+        with pytest.raises(ObservabilityError, match="duration"):
+            parse_duration("10 minutes")
+
+    def test_threshold_rule(self):
+        rule = parse_rule("link.qdepth_bytes > 4096")
+        assert (rule.mode, rule.op, rule.threshold) == ("value", ">", 4096.0)
+        assert rule.name == "link.qdepth_bytes"
+        assert rule.severity == "warning"
+
+    def test_rate_rule_with_name_labels_and_severity(self):
+        rule = parse_rule(
+            "drops: link.drops{cause=down} rate > 0 over 2us !critical"
+        )
+        assert rule.name == "drops"
+        assert rule.series == "link.drops"
+        assert rule.labels == {"cause": "down"}
+        assert rule.mode == "rate"
+        assert rule.over == pytest.approx(2e-6)
+        assert rule.escalates
+
+    def test_absence_rule(self):
+        rule = parse_rule("stalled: ncp.windows_received absent over 20us")
+        assert rule.mode == "absent"
+        assert rule.op == "=="
+        assert rule.threshold == 0.0
+        assert rule.over == pytest.approx(2e-5)
+
+    def test_text_round_trips(self):
+        for text in (
+            "drops: link.drops{cause=down} rate > 0 over 2us !critical",
+            "stalled: ncp.windows_received absent over 20us",
+            "q: link.qdepth_bytes{dir=w0->,link=s1<->w0} >= 100",
+        ):
+            rule = parse_rule(text)
+            again = parse_rule(rule.text())
+            assert again.text() == rule.text()
+
+    def test_bad_rules_rejected(self):
+        for bad in ("", "series >", "s ~ 3", "s rate > 1",  # rate needs over
+                    "s{cause} > 1"):
+            with pytest.raises(ObservabilityError):
+                parse_rule(bad)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ObservabilityError, match="mode"):
+            AlertRule("r", "s", mode="median")
+        with pytest.raises(ObservabilityError, match="comparison"):
+            AlertRule("r", "s", op="~")
+        with pytest.raises(ObservabilityError, match="severity"):
+            AlertRule("r", "s", severity="page")
+        with pytest.raises(ObservabilityError, match="'over'"):
+            AlertRule("r", "s", mode="rate")
+
+    def test_duplicate_rule_names_rejected(self):
+        engine = AlertEngine(["a: s > 1"])
+        with pytest.raises(ObservabilityError, match="duplicate"):
+            engine.add_rule("a: other > 2")
+
+
+def driven_engine(rules, values, interval=1e-6, series="s"):
+    """Drive an engine through ``values`` sampled at successive
+    boundaries of a sampler with one probed series."""
+    sampler = TimeSeriesSampler(interval)
+    state = {"v": 0.0}
+    sampler.add_probe(series, lambda: state["v"])
+    engine = AlertEngine(rules)
+    obs = Observability(sampler=sampler, health=engine)
+    for i, value in enumerate(values):
+        state["v"] = value
+        sampler.advance(i * interval)
+    return engine, obs
+
+
+class TestEvaluation:
+    def test_threshold_fires_and_resolves(self):
+        engine, obs = driven_engine(["s > 10"], [0, 5, 20, 30, 5])
+        assert len(engine.alerts) == 1
+        alert = engine.alerts[0]
+        assert alert.fired_at == pytest.approx(2e-6)
+        assert alert.resolved_at == pytest.approx(4e-6)
+        assert alert.state == "resolved"
+        assert alert.value == 20.0
+        assert not engine.firing()
+        # trace instants landed on the health track
+        names = [(e.name, e.args["alert"]) for e in obs.tracer.events
+                 if e.track == "health"]
+        assert names == [("alert:firing", "s"), ("alert:resolved", "s")]
+
+    def test_still_firing_at_end_of_run(self):
+        engine, _ = driven_engine(["s > 10"], [0, 20, 30])
+        assert engine.alerts[0].state == "firing"
+        assert engine.firing() == engine.alerts
+
+    def test_rate_rule_fires_on_counter_slope(self):
+        # counter flat, then +10/bucket: rate = 1e7/s over 1us buckets
+        engine, _ = driven_engine(
+            ["fast: s rate > 5e6 over 2us"], [0, 0, 0, 10, 20, 20, 20, 20]
+        )
+        assert len(engine.alerts) == 1
+        alert = engine.alerts[0]
+        assert alert.fired_at == pytest.approx(4e-6)
+        assert alert.resolved_at is not None
+        # evidence window carries the triggering rate curve
+        assert alert.window
+        assert alert.window[-1][1] == pytest.approx(1e7)
+
+    def test_absent_rule_fires_while_counter_stalls(self):
+        engine, _ = driven_engine(
+            ["stall: s absent over 3us"], [0, 1, 2, 3, 3, 3, 3, 4, 5]
+        )
+        assert len(engine.alerts) == 1
+        alert = engine.alerts[0]
+        assert alert.fired_at == pytest.approx(6e-6)
+        assert alert.resolved_at == pytest.approx(7e-6)
+
+    def test_no_history_no_false_fire(self):
+        engine, _ = driven_engine(["r: s rate > 0 over 5us"], [0, 10])
+        assert engine.alerts == []  # not enough buckets for the window
+
+    def test_label_filter_selects_series(self):
+        sampler = TimeSeriesSampler(1e-6)
+        sampler.add_probe("c", lambda: 100, {"cause": "down"})
+        sampler.add_probe("c", lambda: 0, {"cause": "loss"})
+        engine = AlertEngine(["only: c{cause=loss} > 1"])
+        Observability(sampler=sampler, health=engine)
+        sampler.advance(0.0)
+        assert engine.alerts == []  # the filtered stream stays at 0
+
+
+class TestEscalation:
+    def test_critical_firing_escalates_once(self):
+        calls = []
+        engine = AlertEngine(["bad: s > 1 !critical", "meh: s > 2"])
+        engine.escalate_to(lambda reason, t: calls.append((reason, t)))
+        sampler = TimeSeriesSampler(1e-6)
+        state = {"v": 0.0}
+        sampler.add_probe("s", lambda: state["v"])
+        sampler.on_bucket(engine.observe)
+        for i, value in enumerate([0, 5, 5, 5]):
+            state["v"] = value
+            sampler.advance(i * 1e-6)
+        # both rules fired, only the critical one escalated, exactly once
+        assert len(engine.alerts) == 2
+        assert calls == [("alert:bad", pytest.approx(1e-6))]
+
+
+class TestExport:
+    def test_export_schema(self):
+        engine, _ = driven_engine(["s > 10"], [0, 20, 5])
+        doc = engine.export()
+        assert doc["schema"] == "repro.alerts/1"
+        assert doc["rules"] == ["s: s > 10"]
+        (alert,) = doc["alerts"]
+        assert alert["state"] == "resolved"
+        assert alert["rule"] == "s: s > 10"
+        assert alert["window"]

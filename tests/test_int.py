@@ -413,6 +413,52 @@ class TestQueryCli:
         assert rc == 0
         assert "drop:switch" in out.out  # the aggregated uplink windows
 
+    def test_drops_top_limits_output(self, saved_run, capsys):
+        trace, _ = saved_run
+        rc, full = self.run_cli(capsys, "drops", "--trace", str(trace))
+        assert rc == 0
+        rc, top = self.run_cli(
+            capsys, "drops", "--trace", str(trace), "--top", "1"
+        )
+        assert rc == 0
+        assert len(top.out.strip().splitlines()) == 1
+        # --top is a prefix of the full (deterministically ordered) list
+        assert full.out.startswith(top.out)
+
+    def test_slowest_ordering_is_stable(self, saved_run, capsys):
+        """Equal-latency windows list in (kernel, seq) order, so repeated
+        invocations and --top prefixes agree byte-for-byte."""
+        trace, _ = saved_run
+        rc, a = self.run_cli(
+            capsys, "slowest", "--trace", str(trace), "--top", "100"
+        )
+        rc, b = self.run_cli(
+            capsys, "slowest", "--trace", str(trace), "--top", "100"
+        )
+        assert a.out == b.out
+        rc, top = self.run_cli(
+            capsys, "slowest", "--trace", str(trace), "--top", "3"
+        )
+        body = [ln for ln in a.out.splitlines() if ln.startswith("allreduce")]
+        top_body = [ln for ln in top.out.splitlines()
+                    if ln.startswith("allreduce")]
+        assert top_body == body[:3]
+
+    def test_stragglers_ordering_is_stable(self, saved_run, capsys):
+        trace, _ = saved_run
+        rc, a = self.run_cli(
+            capsys, "stragglers", "--trace", str(trace), "--percentile", "0"
+        )
+        rc, b = self.run_cli(
+            capsys, "stragglers", "--trace", str(trace), "--percentile", "0"
+        )
+        assert rc == 0
+        assert a.out == b.out
+        # latencies are non-increasing down the listing
+        lats = [int(ln.split("latency=")[1].split("ns")[0])
+                for ln in a.out.splitlines() if "latency=" in ln]
+        assert lats == sorted(lats, reverse=True)
+
     def test_stragglers_with_metrics_threshold(self, saved_run, capsys):
         trace, metrics = saved_run
         rc, out = self.run_cli(

@@ -1,0 +1,183 @@
+"""Virtual-clock time series: bucket semantics, determinism, probes."""
+
+import json
+
+import pytest
+
+from repro.apps.allreduce import AllReduceJob
+from repro.apps.workloads import random_arrays
+from repro.net.events import Simulator
+from repro.obs import (
+    Observability,
+    TimeSeriesSampler,
+    attach_cluster_probes,
+    attach_network_probes,
+)
+from repro.obs.registry import ObservabilityError
+from repro.obs.timeseries import rates
+
+
+class Counter:
+    def __init__(self):
+        self.value = 0
+
+    def bump(self, by=1):
+        self.value += by
+
+    def read(self):
+        return self.value
+
+
+class TestBucketSemantics:
+    def test_samples_land_on_boundaries_before_the_event(self):
+        """The sample at boundary k reflects state after every event
+        strictly before k*interval; an event exactly on the boundary
+        lands in the bucket it opens."""
+        sim = Simulator()
+        sampler = TimeSeriesSampler(1e-6)
+        counter = Counter()
+        sampler.add_probe("c", counter.read)
+        sim.obs = Observability(sampler=sampler)
+        sim.schedule_at(0.5e-6, counter.bump)   # bucket 0
+        sim.schedule_at(1.0e-6, counter.bump)   # exactly on boundary 1
+        sim.schedule_at(2.5e-6, counter.bump)   # bucket 2
+        sim.run()
+        sampler.finish(sim.now())
+        points = dict(sampler.summed("c"))
+        assert points[0] == 0   # boundary 0 samples the initial state
+        assert points[1] == 1   # the t=1us event had not run yet
+        assert points[2] == 2
+        assert points[3] == 3   # trailing finish() sample
+
+    def test_quiet_gaps_still_sample_every_boundary(self):
+        sim = Simulator()
+        sampler = TimeSeriesSampler(1e-6)
+        counter = Counter()
+        sampler.add_probe("c", counter.read)
+        sim.obs = Observability(sampler=sampler)
+        sim.schedule_at(5e-6, counter.bump)
+        sim.run()
+        sampler.finish(sim.now())
+        indices = [i for i, _ in sampler.summed("c")]
+        assert indices == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_finish_is_idempotent(self):
+        sampler = TimeSeriesSampler(1e-6)
+        counter = Counter()
+        sampler.add_probe("c", counter.read)
+        sampler.finish(2.5e-6)
+        n = len(sampler.summed("c"))
+        sampler.finish(9e-6)
+        assert len(sampler.summed("c")) == n
+        assert sampler.end_time == 2.5e-6
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ObservabilityError, match="positive"):
+            TimeSeriesSampler(0.0)
+
+    def test_max_samples_guards_runaway_configs(self):
+        sampler = TimeSeriesSampler(1e-9, max_samples=100)
+        sampler.add_probe("c", lambda: 0)
+        with pytest.raises(ObservabilityError, match="exceeded 100"):
+            sampler.advance(1.0)  # would need 1e9 buckets
+
+
+class TestProbes:
+    def test_duplicate_series_rejected(self):
+        sampler = TimeSeriesSampler(1e-6)
+        sampler.add_probe("c", lambda: 0, {"k": "a"})
+        sampler.add_probe("c", lambda: 0, {"k": "b"})  # distinct labels ok
+        with pytest.raises(ObservabilityError, match="duplicate"):
+            sampler.add_probe("c", lambda: 0, {"k": "a"})
+
+    def test_unknown_kind_rejected(self):
+        sampler = TimeSeriesSampler(1e-6)
+        with pytest.raises(ObservabilityError, match="kind"):
+            sampler.add_probe("c", lambda: 0, kind="histogram")
+
+    def test_summed_pointwise_sums_matching_series(self):
+        sampler = TimeSeriesSampler(1e-6)
+        a, b = Counter(), Counter()
+        sampler.add_probe("c", a.read, {"k": "a"})
+        sampler.add_probe("c", b.read, {"k": "b"})
+        a.bump(2)
+        b.bump(3)
+        sampler.advance(0.0)
+        assert sampler.summed("c") == [(0, 5)]
+        assert sampler.summed("c", {"k": "a"}) == [(0, 2)]
+        assert sampler.summed("c", {"k": "nope"}) == []
+
+    def test_rates_derive_from_counter_deltas(self):
+        points = [(0, 0.0), (1, 10.0), (2, 10.0), (4, 30.0)]
+        out = rates(points, 1e-6)
+        assert out == [
+            (1, pytest.approx(1e7)),
+            (2, pytest.approx(0.0)),
+            (4, pytest.approx(1e7)),  # delta 20 over a 2-bucket gap
+        ]
+
+
+class TestStandardProbeSets:
+    def test_network_and_cluster_probes(self):
+        sampler = TimeSeriesSampler(1e-6)
+        job = AllReduceJob(2, 256, 8, obs=Observability(sampler=sampler))
+        attach_network_probes(sampler, job.cluster.network)
+        attach_cluster_probes(sampler, job.cluster)
+        arrays = random_arrays(2, 256, seed=1)
+        job.run_round(arrays)
+        sampler.finish(job.cluster.now())
+        names = set(sampler.series_names())
+        assert {"link.frames", "link.bytes", "link.drops",
+                "link.qdepth_bytes", "net.drops", "sim.events",
+                "ncp.windows_sent", "ncp.windows_received",
+                "ncp.retransmits"} <= names
+        # the frame counters actually moved
+        final = sampler.summed("link.frames")[-1][1]
+        assert final == sum(
+            lk.stats.frames for lk in job.cluster.network.links
+        )
+        # drop curves exist per cause even when flat
+        causes = {s.labels["cause"] for s in sampler.matching("link.drops")}
+        assert causes == {"loss", "overflow", "down"}
+
+
+def sampled_allreduce_dump():
+    sampler = TimeSeriesSampler(1e-6)
+    job = AllReduceJob(2, 256, 8, obs=Observability(sampler=sampler))
+    attach_network_probes(sampler, job.cluster.network)
+    attach_cluster_probes(sampler, job.cluster)
+    arrays = random_arrays(2, 256, seed=7)
+    job.run_round(arrays)
+    sampler.finish(job.cluster.now())
+    return sampler.dump()
+
+
+class TestDeterminism:
+    def test_dump_is_byte_identical_across_identical_runs(self):
+        """The acceptance bar: identical seeded runs produce
+        byte-identical ``repro.timeseries/1`` JSON."""
+        a = json.dumps(sampled_allreduce_dump(), sort_keys=True)
+        b = json.dumps(sampled_allreduce_dump(), sort_keys=True)
+        assert a == b
+
+    def test_dump_schema_and_sorted_series(self):
+        dump = sampled_allreduce_dump()
+        assert dump["schema"] == "repro.timeseries/1"
+        assert dump["buckets"] > 0
+        assert dump["end_time"] is not None
+        keys = [(s["name"], tuple(sorted(s["labels"].items())))
+                for s in dump["series"]]
+        assert keys == sorted(keys)
+        for series in dump["series"]:
+            assert series["kind"] in ("counter", "gauge")
+            for idx, _value in series["points"]:
+                assert isinstance(idx, int)
+
+    def test_write_json_round_trips(self, tmp_path):
+        sampler = TimeSeriesSampler(1e-6)
+        sampler.add_probe("c", lambda: 1)
+        sampler.finish(0.0)
+        path = tmp_path / "run.timeseries.json"
+        with open(path, "w") as fp:
+            sampler.write_json(fp)
+        assert json.loads(path.read_text())["schema"] == "repro.timeseries/1"
