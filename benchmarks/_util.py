@@ -48,7 +48,11 @@ def maybe_obs():
       the per-packet hop cap (default 8);
     * ``REPRO_PROFILE`` -- attach a wall-time :class:`~repro.obs.Profiler`;
     * ``REPRO_SAMPLE=<us>`` -- attach a virtual-clock
-      :class:`~repro.obs.TimeSeriesSampler` at that bucket width."""
+      :class:`~repro.obs.TimeSeriesSampler` at that bucket width;
+    * ``REPRO_TRACE_SAMPLE=<rate>`` -- deterministic trace sampling at
+      that window keep-rate (anomalous windows always kept in full);
+    * ``REPRO_TRACE_SHARD=<n>`` -- write the trace JSONL as rolling
+      shards of *n* events each (plus a manifest) instead of one file."""
     trace = os.environ.get("REPRO_TRACE")
     profile = os.environ.get("REPRO_PROFILE")
     sample = os.environ.get("REPRO_SAMPLE")
@@ -62,7 +66,7 @@ def maybe_obs():
         from repro.obs import IntConfig
 
         int_cfg = IntConfig(max_hops=int(int_env) if int_env.isdigit() else 8)
-    profiler = sampler = None
+    profiler = sampler = tracer = None
     if profile:
         from repro.obs import Profiler
 
@@ -71,7 +75,14 @@ def maybe_obs():
         from repro.obs import TimeSeriesSampler
 
         sampler = TimeSeriesSampler(float(sample) * 1e-6)
-    return Observability(int_config=int_cfg, profiler=profiler, sampler=sampler)
+    trace_rate = os.environ.get("REPRO_TRACE_SAMPLE")
+    if trace_rate:
+        from repro.obs import Tracer, TraceSampler
+
+        tracer = Tracer(sampler=TraceSampler(rate=float(trace_rate)))
+    return Observability(
+        tracer=tracer, int_config=int_cfg, profiler=profiler, sampler=sampler
+    )
 
 
 def maybe_artifact(program, name: str):
@@ -120,13 +131,28 @@ def write_trace(obs, name: str) -> Optional[Path]:
         return None
     from repro.obs.lineage import LineageIndex
 
+    # Finalize sampling first: windows still pending in the trace
+    # sampler are resolved (kept if anomalous, dropped otherwise), so
+    # the exported artifacts see the sampler's final verdicts.
+    obs.tracer.close()
     outdir = Path(os.environ.get("REPRO_TRACE", "."))
     outdir.mkdir(parents=True, exist_ok=True)
     path = outdir / f"{name}.trace.json"
     with open(path, "w") as fp:
         obs.tracer.write_chrome(fp)
-    with open(outdir / f"{name}.trace.jsonl", "w") as fp:
-        obs.tracer.write_jsonl(fp)
+    shard = os.environ.get("REPRO_TRACE_SHARD")
+    if shard:
+        from repro.obs import JsonlSink
+
+        sink = JsonlSink(
+            str(outdir / f"{name}.trace.jsonl"), shard_events=int(shard)
+        )
+        for event in obs.tracer.events:
+            sink.write(event)
+        sink.close()
+    else:
+        with open(outdir / f"{name}.trace.jsonl", "w") as fp:
+            obs.tracer.write_jsonl(fp)
     index = LineageIndex.from_events(obs.tracer.events)
     with open(outdir / f"{name}.lineage.json", "w") as fp:
         index.write_json(fp)
@@ -188,6 +214,22 @@ def lineage_summary(obs) -> Optional[dict]:
         "attempts_delivered": delivered,
         "attempts_dropped": dropped,
         "retransmits": retransmits,
+    }
+
+
+def obs_summary(obs) -> Optional[dict]:
+    """The tracer's self-accounting for a results JSON: what observing
+    the run cost (events recorded vs sampled out, bytes streamed, peak
+    events resident in memory). Deterministic -- the budget gate keeps
+    ceilings on the memory/byte numbers."""
+    if obs is None or obs.tracer is None:
+        return None
+    stats = obs.tracer.stats()
+    return {
+        "events_recorded": stats["events_recorded"],
+        "events_sampled_out": stats["events_sampled_out"],
+        "bytes_written": stats["bytes_written"],
+        "peak_resident_events": stats["peak_resident_events"],
     }
 
 

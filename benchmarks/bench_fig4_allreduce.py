@@ -191,3 +191,29 @@ def test_fig4_single_round_latency(benchmark):
     prof_results, _ = job_prof.run_round(arrays)
     assert prof_results[0] == AllReduceJob.expected(arrays)
     benchmark.extra_info["throughput"] = throughput_summary(profiler)
+
+    # One sampled + streamed round for the observer-overhead meters:
+    # nothing retained in memory, the trace sampled at 10% and streamed
+    # to sharded JSONL. The resulting self-accounting (events recorded /
+    # sampled out / bytes written / peak resident) is deterministic and
+    # budget-gated (fig4_allreduce_obs.* in budgets.json).
+    import tempfile
+    from pathlib import Path
+
+    from repro.obs import JsonlSink, Tracer, TraceSampler
+
+    from benchmarks._util import obs_summary
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tracer = Tracer(
+            sampler=TraceSampler(rate=0.1, max_pending=256), retain=False
+        )
+        tracer.add_stream(
+            JsonlSink(str(Path(tmp) / "fig4.trace.jsonl"), shard_events=2000)
+        )
+        obs = Observability(tracer=tracer)
+        job_obs = AllReduceJob(4, 256, WINDOW, obs=obs)
+        obs_results, _ = job_obs.run_round(arrays)
+        assert obs_results[0] == AllReduceJob.expected(arrays)
+        tracer.close()
+        benchmark.extra_info["obs"] = obs_summary(obs)

@@ -24,6 +24,19 @@ floor to a fifth of the measured throughput, loose enough for noisy CI
 machines but tight enough to catch an order-of-magnitude simulator
 regression.
 
+The observer's own overhead is gated too: a sampled + streamed round
+measures ``fig4_allreduce_obs.*`` (events recorded / sampled out,
+bytes written, peak resident events). The memory/byte numbers carry
+``"kind": "ceiling"`` and pass when measured *at or below* the budget,
+so observability-layer memory growth fails the gate the same way a
+chattier protocol would.
+
+``--history DIR`` keeps a run ledger: every invocation appends its
+measured metrics and profile report to DIR, and when a throughput floor
+fails, the gate diffs the current profile against the previous run's
+(via ``repro.obs.diff``) and names the handlers whose wall time
+regressed most -- the "what got slower" answer, not just "something".
+
 Runs standalone (no pytest): ``python benchmarks/check_budget.py``.
 """
 
@@ -50,6 +63,14 @@ FLOOR_METRICS = (
 )
 FLOOR_FRACTION = 0.2
 
+#: observer-overhead metrics get one-sided ceiling budgets (pass at or
+#: below); --update sets ceiling = measured * CEILING_HEADROOM
+CEILING_METRICS = (
+    "fig4_allreduce_obs.peak_resident_events",
+    "fig4_allreduce_obs.bytes_written",
+)
+CEILING_HEADROOM = 1.5
+
 
 def _switch_packets(network) -> int:
     from repro.net.pisanode import PisaSwitchNode
@@ -61,8 +82,10 @@ def _switch_packets(network) -> int:
     )
 
 
-def measure() -> dict:
-    """The fast bench subset, as {metric: deterministic value}."""
+def measure() -> tuple:
+    """The fast bench subset: ``(metrics, profile_report)`` -- a flat
+    {metric: deterministic value} dict plus the profiled round's
+    ``repro.profile/1`` document (for --history regression naming)."""
     from repro.apps.allreduce import AllReduceJob
     from repro.apps.telemetry import TelemetryCluster
     from repro.apps.workloads import random_arrays
@@ -90,6 +113,31 @@ def measure() -> dict:
     assert results[0] == AllReduceJob.expected(arrays)
     out["fig4_allreduce.events_per_sec"] = round(profiler.events_per_sec())
     out["fig4_allreduce.packets_per_sec"] = round(profiler.packets_per_sec())
+    profile_report = profiler.report()
+
+    # -- the same round sampled + streamed: the observer's own overhead --
+    import tempfile
+
+    from repro.obs import JsonlSink, Tracer, TraceSampler
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tracer = Tracer(
+            sampler=TraceSampler(rate=0.1, max_pending=256), retain=False
+        )
+        tracer.add_stream(
+            JsonlSink(str(Path(tmp) / "obs.trace.jsonl"), shard_events=2000)
+        )
+        job_obs = AllReduceJob(4, 512, 8, obs=Observability(tracer=tracer))
+        results, _ = job_obs.run_round(arrays)
+        assert results[0] == AllReduceJob.expected(arrays)
+        tracer.close()
+        stats = tracer.stats()
+    out["fig4_allreduce_obs.events_recorded"] = stats["events_recorded"]
+    out["fig4_allreduce_obs.events_sampled_out"] = stats["events_sampled_out"]
+    out["fig4_allreduce_obs.bytes_written"] = stats["bytes_written"]
+    out["fig4_allreduce_obs.peak_resident_events"] = stats[
+        "peak_resident_events"
+    ]
 
     # -- the same round with INT stamping on: the telemetry byte tax ------
     obs = Observability(int_config=IntConfig(max_hops=8))
@@ -115,7 +163,7 @@ def measure() -> dict:
     out["telemetry.link_bytes"] = (
         cluster.cluster.network.total_bytes_on_links()
     )
-    return out
+    return out, profile_report
 
 
 def load_budgets() -> dict:
@@ -129,7 +177,10 @@ def load_budgets() -> dict:
     return data
 
 
-def check(measured: dict, budgets: dict) -> int:
+def check(measured: dict, budgets: dict, floor_failures=None) -> int:
+    """Gate *measured* against *budgets*; 0 on pass. Failed floor-kind
+    metric names are appended to *floor_failures* (when given) so the
+    caller can run the --history profile diff for exactly those."""
     failures = []
     rows = []
     entries = budgets["metrics"]
@@ -149,6 +200,17 @@ def check(measured: dict, budgets: dict) -> int:
             if not ok:
                 failures.append(
                     f"{name}: measured {value} below floor {budget}"
+                )
+                if floor_failures is not None:
+                    floor_failures.append(name)
+            continue
+        if entry.get("kind") == "ceiling":
+            ok = value <= budget
+            rows.append((name, budget, value, "  <=", "ok" if ok else "FAIL"))
+            if not ok:
+                failures.append(
+                    f"{name}: measured {value} above ceiling {budget} "
+                    "(observer overhead grew; if intentional, --update)"
                 )
             continue
         tol_pct = entry.get("tolerance_pct", DEFAULT_TOLERANCE_PCT)
@@ -194,6 +256,11 @@ def update(measured: dict) -> None:
                 "budget": int(measured[name] * FLOOR_FRACTION),
                 "kind": "floor",
             }
+        elif name in CEILING_METRICS:
+            data["metrics"][name] = {
+                "budget": int(measured[name] * CEILING_HEADROOM),
+                "kind": "ceiling",
+            }
         else:
             data["metrics"][name] = {
                 "budget": measured[name],
@@ -207,6 +274,54 @@ def update(measured: dict) -> None:
     print(f"wrote {BUDGETS_PATH} ({len(measured)} metrics)")
 
 
+def _history_runs(history_dir: Path):
+    return sorted(history_dir.glob("run-*.json"))
+
+
+def _append_history(history_dir: Path, measured: dict, profile: dict) -> Path:
+    history_dir.mkdir(parents=True, exist_ok=True)
+    runs = _history_runs(history_dir)
+    next_n = 0
+    if runs:
+        next_n = max(int(p.stem.split("-")[1]) for p in runs) + 1
+    path = history_dir / f"run-{next_n:04d}.json"
+    with open(path, "w") as fp:
+        json.dump(
+            {"measured": measured, "profile": profile},
+            fp, indent=2, sort_keys=True,
+        )
+        fp.write("\n")
+    return path
+
+
+def _name_regressions(history_dir: Path, profile: dict) -> None:
+    """A floor failed: diff this run's profile against the previous
+    history entry's and say which handlers got slower."""
+    from repro.obs.diff import diff_profile
+
+    runs = _history_runs(history_dir)
+    if not runs:
+        print("(no prior run in --history dir to diff against)",
+              file=sys.stderr)
+        return
+    with open(runs[-1]) as fp:
+        prev = json.load(fp)
+    section = diff_profile(prev.get("profile", {}), profile)
+    regressed = section.get("top_regressed") or []
+    if not regressed:
+        print(f"(no handler wall-time regression vs {runs[-1].name}; "
+              "floor failure is likely machine noise)", file=sys.stderr)
+        return
+    print(f"\nhandlers regressed vs {runs[-1].name}:", file=sys.stderr)
+    for entry in regressed[:5]:
+        pct = f" ({entry['pct']:+g}%)" if "pct" in entry else ""
+        print(
+            f"  {entry['label']}: {entry['a_wall_s']:.6f}s -> "
+            f"{entry['b_wall_s']:.6f}s{pct}",
+            file=sys.stderr,
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -217,10 +332,18 @@ def main(argv=None) -> int:
         "--json", action="store_true",
         help="print the measured metrics as JSON and exit",
     )
+    parser.add_argument(
+        "--history", metavar="DIR",
+        help="append this run to a history ledger; on a floor failure, "
+        "diff profiles against the previous run and name the regressed "
+        "handlers",
+    )
     args = parser.parse_args(argv)
-    measured = measure()
+    measured, profile = measure()
     if args.json:
         print(json.dumps(measured, indent=2, sort_keys=True))
+        if args.history:
+            _append_history(Path(args.history), measured, profile)
         return 0
     if args.update:
         update(measured)
@@ -231,7 +354,14 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
-    return check(measured, load_budgets())
+    floor_failures: list = []
+    rc = check(measured, load_budgets(), floor_failures)
+    if args.history:
+        history_dir = Path(args.history)
+        if floor_failures:
+            _name_regressions(history_dir, profile)
+        _append_history(history_dir, measured, profile)
+    return rc
 
 
 if __name__ == "__main__":

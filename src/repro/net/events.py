@@ -71,8 +71,16 @@ class Simulator:
         profiler = obs.profiler if obs.enabled else None
         sampler = obs.sampler if obs.enabled else None
         if profiler is None and sampler is None:
-            return self._run_fast(until, max_events)
-        return self._run_instrumented(until, max_events, profiler, sampler)
+            now = self._run_fast(until, max_events)
+        else:
+            now = self._run_instrumented(until, max_events, profiler, sampler)
+        if obs.enabled:
+            # IO-only flush: streamed trace shards are durable at every
+            # run boundary. Never drains the trace sampler -- a caller
+            # may run() again (retransmits) and in-flight windows must
+            # stay promotable.
+            obs.tracer.flush()
+        return now
 
     def _run_fast(self, until: Optional[float], max_events: int) -> float:
         processed = 0

@@ -14,10 +14,23 @@ The :class:`Observability` context bundles the first two and rides on
 the simulator (``sim.obs``); the default is the no-op :data:`NULL_OBS`,
 whose cost at every instrumentation site is one attribute load and a
 branch.
+
+Phase 3 adds scale discipline: deterministic trace sampling with
+anomaly retention (:class:`TraceSampler`), streaming/sharded sinks
+(:class:`JsonlSink`), metric cardinality caps (``max_series`` /
+:data:`OVERFLOW_LABEL`), and cross-run regression diffing
+(:func:`diff_runs`, ``repro.diff/1``).
 """
 
 from repro.obs.compiler import CompileTrace, ir_size
 from repro.obs.context import NULL_OBS, Observability
+from repro.obs.diff import (
+    DIFF_SCHEMA,
+    build_report,
+    diff_runs,
+    render_report,
+    validate_report,
+)
 from repro.obs.flight import FlightRecorder, flight_guard, validate_bundle
 from repro.obs.health import AlertEngine, AlertRule, parse_rule
 from repro.obs.int import IntConfig, IntError, IntStack, carries_int, peek_stack
@@ -31,7 +44,17 @@ from repro.obs.registry import (
     Histogram,
     MetricFamily,
     MetricsRegistry,
+    OVERFLOW_LABEL,
     ObservabilityError,
+)
+from repro.obs.sinks import (
+    BoundedBufferSink,
+    JsonlSink,
+    TraceSampler,
+    iter_trace_events,
+    resolve_trace_paths,
+    stable_hash,
+    window_key,
 )
 from repro.obs.timeseries import (
     TimeSeriesSampler,
@@ -43,33 +66,46 @@ from repro.obs.trace import TraceEvent, Tracer
 __all__ = [
     "AlertEngine",
     "AlertRule",
+    "BoundedBufferSink",
     "CompileTrace",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DIFF_SCHEMA",
     "FlightRecorder",
     "Gauge",
     "Histogram",
     "IntConfig",
     "IntError",
     "IntStack",
+    "JsonlSink",
     "MetricFamily",
     "MetricsRegistry",
     "NULL_OBS",
+    "OVERFLOW_LABEL",
     "Observability",
     "ObservabilityError",
     "Profiler",
     "SwitchPacketTrace",
     "TimeSeriesSampler",
     "TraceEvent",
+    "TraceSampler",
     "Tracer",
     "attach_cluster_probes",
     "attach_network_probes",
+    "build_report",
     "carries_int",
     "collect_network_metrics",
+    "diff_runs",
     "flight_guard",
     "ir_size",
+    "iter_trace_events",
     "parse_rule",
     "peek_stack",
     "render_prom",
+    "render_report",
+    "resolve_trace_paths",
+    "stable_hash",
     "validate_bundle",
+    "validate_report",
+    "window_key",
 ]

@@ -76,6 +76,30 @@ class Observability:
                 sampler.on_bucket(health.observe)
             if flight is not None:
                 health.escalate_to(flight.trigger)
+        # Self-accounting: the observer reports its own overhead as
+        # obs.* gauges at snapshot time (events recorded vs sampled
+        # out, bytes streamed to disk, peak resident events, metric
+        # cardinality) so the cost of watching is itself watched.
+        self.registry.register_collector(self._collect_self)
+
+    def _collect_self(self, registry: MetricsRegistry) -> None:
+        stats = self.tracer.stats()
+        registry.gauge(
+            "obs.events_recorded", "trace events recorded (pre-sampling)"
+        ).set(stats["events_recorded"])
+        registry.gauge(
+            "obs.events_sampled_out", "trace events dropped by sampling"
+        ).set(stats["events_sampled_out"])
+        registry.gauge(
+            "obs.bytes_written", "bytes written by streaming trace sinks"
+        ).set(stats["bytes_written"])
+        registry.gauge(
+            "obs.peak_resident_events",
+            "peak trace events held in memory (retained + sampler-pending)",
+        ).set(stats["peak_resident_events"])
+        registry.gauge(
+            "obs.metric_series", "distinct metric series in the registry"
+        ).set(registry.total_series())
 
     def snapshot(self):
         """Registry snapshot (runs collectors)."""

@@ -3,8 +3,11 @@
 Full traces of million-packet runs are too big to keep, and end-of-run
 snapshots are too late to explain a crash. The :class:`FlightRecorder`
 is the middle ground: a bounded ring of the most recent trace events
-(it subscribes to the run's :class:`~repro.obs.trace.Tracer` as a sink,
-so it works even when nothing ever exports the full trace), plus
+(it subscribes to the run's :class:`~repro.obs.trace.Tracer` as a
+*sink*, the pre-sampling stream -- so the ring stays complete even when
+a :class:`~repro.obs.sinks.TraceSampler` is dropping most events from
+the exported trace, and it works even when nothing ever exports the
+full trace), plus
 whatever else the observability context knows -- registry snapshot,
 time-series curves, alert state -- bundled into one self-contained
 ``repro.flight/1`` JSON document the moment something goes wrong.

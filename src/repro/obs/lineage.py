@@ -287,6 +287,17 @@ class LineageIndex:
                 index._fold_drop(float(ts), track, args)
         return index
 
+    @classmethod
+    def from_jsonl(cls, spec) -> "LineageIndex":
+        """Fold a trace straight off disk, streaming line by line --
+        ``spec`` is a trace file, a shard directory, a shard manifest,
+        or a sharded sink's base path (anything
+        :func:`repro.obs.sinks.resolve_trace_paths` accepts). Memory
+        stays O(windows), never O(events): no shard is loaded whole."""
+        from repro.obs.sinks import iter_trace_events
+
+        return cls.from_events(iter_trace_events(spec))
+
     def _window(self, kernel_id: int, seq: int,
                 kernel: Optional[str] = None) -> WindowLineage:
         key = (kernel_id, seq)

@@ -16,6 +16,8 @@ Subcommands::
     timeseries  virtual-clock curves (repro.timeseries/1 dump)
     alerts      health alerts, from an alerts doc or a flight bundle
     export      re-render a metrics snapshot (e.g. Prometheus text)
+    diff        cross-run regression report (repro.diff/1) from two
+                runs' artifacts (files or run directories)
 
 Examples::
 
@@ -29,6 +31,8 @@ Examples::
         --series link.drops --rate
     python -m repro.obs.query alerts --flight flight-0.json
     python -m repro.obs.query export --metrics run.metrics.json --format prom
+    python -m repro.obs.query diff baseline/ candidate/ --top 5
+    python -m repro.obs.query diff a.metrics.json b.metrics.json --json
 """
 
 from __future__ import annotations
@@ -49,15 +53,16 @@ def load_json(path: str) -> Dict:
         return json.load(fp)
 
 
-def load_trace_events(path: str) -> List[Dict]:
-    """Read a trace JSONL (one event object per line)."""
-    events = []
-    with open(path) as fp:
-        for line in fp:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
-    return events
+def load_trace_events(path: str):
+    """Iterate a trace JSONL (or sharded trace) one event at a time.
+
+    Streams: the lineage fold downstream keeps O(windows) state, so a
+    multi-gigabyte sharded trace never has to fit in memory. ``path``
+    may be a single JSONL, a shard directory, a shard manifest, or a
+    sharded sink's base path."""
+    from repro.obs.sinks import iter_trace_events
+
+    return iter_trace_events(path)
 
 
 def load_index(args: argparse.Namespace) -> LineageIndex:
@@ -361,6 +366,24 @@ def cmd_alerts(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import diff_runs, render_report, write_report
+
+    report = diff_runs(args.run_a, args.run_b, top=args.top)
+    if args.output and args.output != "-":
+        with open(args.output, "w") as fp:
+            write_report(report, fp)
+        print(f"wrote {args.output}")
+    if args.json:
+        if not args.output or args.output == "-":
+            write_report(report, sys.stdout)
+    else:
+        print(render_report(report, limit=args.limit))
+    if args.fail_on_delta and not report["zero_delta"]:
+        return 1
+    return 0
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     snapshot = load_json(args.metrics)
     if args.format == "prom":
@@ -463,6 +486,25 @@ def build_parser() -> argparse.ArgumentParser:
     alerts.add_argument("--window", action="store_true",
                         help="also print each alert's evidence window")
     alerts.set_defaults(fn=cmd_alerts)
+
+    diff = subs.add_parser(
+        "diff", help="cross-run regression report (repro.diff/1)"
+    )
+    diff.add_argument("run_a", metavar="A",
+                      help="baseline: artifact JSON or run directory")
+    diff.add_argument("run_b", metavar="B",
+                      help="candidate: artifact JSON or run directory")
+    diff.add_argument("--top", type=int, default=10,
+                      help="top regressed handlers to rank (default 10)")
+    diff.add_argument("--limit", type=int, default=20,
+                      help="changed keys to print per section (default 20)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the repro.diff/1 JSON instead of text")
+    diff.add_argument("-o", "--output",
+                      help="also write the JSON report to this path")
+    diff.add_argument("--fail-on-delta", action="store_true",
+                      help="exit 1 unless the report is zero-delta")
+    diff.set_defaults(fn=cmd_diff)
 
     export = subs.add_parser(
         "export", help="re-render a metrics snapshot (Prometheus text)"

@@ -151,8 +151,21 @@ class Histogram:
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
 
+#: label value every over-cap series collapses into (all positions)
+OVERFLOW_LABEL = "__overflow__"
+
+
 class MetricFamily:
-    """One named metric and all its labelled series."""
+    """One named metric and all its labelled series.
+
+    ``max_series`` caps cardinality: once that many *distinct* label
+    assignments exist, further new assignments collapse into a single
+    ``__overflow__`` series (every label position set to
+    :data:`OVERFLOW_LABEL`) instead of growing the map -- at fat-tree
+    scale a per-link family would otherwise hold thousands of series.
+    Existing series keep updating; only *new* keys are routed, and
+    ``overflow_routed`` counts how many distinct keys were collapsed so
+    the snapshot says what it lost."""
 
     def __init__(
         self,
@@ -161,16 +174,21 @@ class MetricFamily:
         description: str = "",
         label_names: Sequence[str] = (),
         buckets: Optional[Sequence[float]] = None,
+        max_series: Optional[int] = None,
     ):
         self.kind = kind
         self.name = name
         self.description = description
         self.label_names = tuple(label_names)
         self.buckets = tuple(buckets) if buckets is not None else None
+        self.max_series = max_series
         self._series: Dict[Tuple, object] = {}
+        self._overflow_keys: set = set()
+        self.overflow_routed = 0
 
     def labels(self, **label_values):
-        """The series for one label assignment (created on first use)."""
+        """The series for one label assignment (created on first use;
+        over-cap assignments land on the ``__overflow__`` series)."""
         if set(label_values) != set(self.label_names):
             raise ObservabilityError(
                 f"metric {self.name!r} takes labels {list(self.label_names)}, "
@@ -179,9 +197,26 @@ class MetricFamily:
         key = tuple(str(label_values[n]) for n in self.label_names)
         series = self._series.get(key)
         if series is None:
+            if (
+                self.max_series is not None
+                and self.label_names
+                and len(self._series) >= self.max_series
+            ):
+                if key not in self._overflow_keys:
+                    self._overflow_keys.add(key)
+                    self.overflow_routed += 1
+                key = (OVERFLOW_LABEL,) * len(self.label_names)
+                series = self._series.get(key)
+                if series is None:
+                    series = self._make_series()
+                    self._series[key] = series
+                return series
             series = self._make_series()
             self._series[key] = series
         return series
+
+    def series_count(self) -> int:
+        return len(self._series)
 
     def _make_series(self):
         if self.kind == "histogram":
@@ -224,20 +259,31 @@ class MetricFamily:
             series.append(
                 {"labels": dict(zip(self.label_names, key)), "value": value}
             )
-        return {
+        out: Dict[str, object] = {
             "kind": self.kind,
             "description": self.description,
             "label_names": list(self.label_names),
             "series": series,
         }
+        # Only when the cap actually bit -- uncapped registries keep
+        # producing byte-identical snapshots to previous releases.
+        if self.overflow_routed:
+            out["overflow_routed"] = self.overflow_routed
+        return out
 
 
 class MetricsRegistry:
-    """All metric families of one run, plus snapshot-time collectors."""
+    """All metric families of one run, plus snapshot-time collectors.
 
-    def __init__(self) -> None:
+    ``max_series_per_family`` is the registry-wide cardinality default
+    (see :class:`MetricFamily`); per-family ``max_series`` overrides it.
+    ``None`` (the default) keeps families unbounded, matching the
+    historical behaviour."""
+
+    def __init__(self, max_series_per_family: Optional[int] = None) -> None:
         self._families: Dict[str, MetricFamily] = {}
         self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+        self.max_series_per_family = max_series_per_family
 
     # -- declaration -----------------------------------------------------------
 
@@ -248,6 +294,7 @@ class MetricsRegistry:
         description: str,
         labels: Sequence[str],
         buckets: Optional[Sequence[float]] = None,
+        max_series: Optional[int] = None,
     ) -> MetricFamily:
         existing = self._families.get(name)
         if existing is not None:
@@ -256,20 +303,36 @@ class MetricsRegistry:
                     f"metric {name!r} already declared as {existing.kind} with "
                     f"labels {list(existing.label_names)}"
                 )
+            if max_series is not None:
+                existing.max_series = max_series
             return existing
-        family = MetricFamily(kind, name, description, labels, buckets)
+        if max_series is None:
+            max_series = self.max_series_per_family
+        family = MetricFamily(kind, name, description, labels, buckets, max_series)
         self._families[name] = family
         return family
 
     def counter(
-        self, name: str, description: str = "", labels: Sequence[str] = ()
+        self,
+        name: str,
+        description: str = "",
+        labels: Sequence[str] = (),
+        max_series: Optional[int] = None,
     ) -> MetricFamily:
-        return self._family("counter", name, description, labels)
+        return self._family(
+            "counter", name, description, labels, max_series=max_series
+        )
 
     def gauge(
-        self, name: str, description: str = "", labels: Sequence[str] = ()
+        self,
+        name: str,
+        description: str = "",
+        labels: Sequence[str] = (),
+        max_series: Optional[int] = None,
     ) -> MetricFamily:
-        return self._family("gauge", name, description, labels)
+        return self._family(
+            "gauge", name, description, labels, max_series=max_series
+        )
 
     def histogram(
         self,
@@ -277,14 +340,22 @@ class MetricsRegistry:
         description: str = "",
         labels: Sequence[str] = (),
         buckets: Optional[Sequence[float]] = None,
+        max_series: Optional[int] = None,
     ) -> MetricFamily:
-        return self._family("histogram", name, description, labels, buckets)
+        return self._family(
+            "histogram", name, description, labels, buckets, max_series
+        )
 
     def get(self, name: str) -> Optional[MetricFamily]:
         return self._families.get(name)
 
     def families(self) -> Iterable[MetricFamily]:
         return self._families.values()
+
+    def total_series(self) -> int:
+        """Distinct series across every family (the observer's own
+        metric-memory footprint, surfaced as ``obs.metric_series``)."""
+        return sum(f.series_count() for f in self._families.values())
 
     # -- collectors ------------------------------------------------------------
 

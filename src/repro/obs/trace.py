@@ -26,7 +26,7 @@ Three exporters:
 from __future__ import annotations
 
 import json
-from typing import IO, Dict, List, Optional
+from typing import IO, Dict, List, Optional, Union
 
 #: simulated seconds -> trace microseconds (the chrome schema's unit)
 _US = 1e6
@@ -66,23 +66,61 @@ class TraceEvent:
 
 
 class Tracer:
-    """An append-only event log (cheap enough to keep per-run).
+    """An append-only event log with optional sampling and streaming.
 
-    *Sinks* (:meth:`add_sink`) additionally receive every recorded
-    event as it happens -- how the bounded flight recorder keeps its
-    last-N ring without the tracer growing extra retention modes.
+    Two subscriber lists bracket the sampling stage:
+
+    * *sinks* (:meth:`add_sink`) see the **pre-sampling** stream --
+      every recorded event. The crash flight recorder rides here, so
+      its last-N ring stays complete even under aggressive sampling;
+    * *streams* (:meth:`add_stream`) see the **post-sampling** stream
+      -- what the :class:`~repro.obs.sinks.TraceSampler` keeps (or
+      everything, when no sampler is configured). Streaming sinks
+      (:class:`~repro.obs.sinks.JsonlSink`) ride here.
+
+    ``retain`` controls the in-memory ``events`` list: ``True`` keeps
+    every kept event (the historical behaviour), ``False`` keeps none
+    (stream-only runs), an integer keeps a bounded tail. The tracer
+    self-accounts (:meth:`stats`): events recorded vs emitted vs
+    sampled out, bytes written by streams, and the peak number of
+    events resident in memory -- the observer reports its own overhead.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sampler=None, retain: Union[bool, int] = True) -> None:
         self.events: List[TraceEvent] = []
         self._sinks: List = []
+        self._streams: List = []
+        self._sampler = sampler
+        if sampler is not None:
+            sampler.bind(self._emit)
+        self._retain = retain
+        self._retain_cap = retain if isinstance(retain, int) and retain is not True else None
+        # -- self-accounting
+        self.events_recorded = 0
+        self.events_emitted = 0
+        self.peak_resident_events = 0
+        # -- monotonicity fast path: the sim clock only moves forward,
+        # so events usually arrive time-ordered; track it in O(1) and
+        # let timeline() skip the sort when the order held
+        self._last_ts = float("-inf")
+        self._monotonic = True
 
     def __len__(self) -> int:
         return len(self.events)
 
+    @property
+    def sampler(self):
+        return self._sampler
+
     def add_sink(self, fn) -> None:
-        """``fn(event)`` runs for every subsequently recorded event."""
+        """``fn(event)`` runs for every recorded event, *before*
+        sampling (the flight recorder's full-fidelity tap)."""
         self._sinks.append(fn)
+
+    def add_stream(self, sink) -> None:
+        """A streaming sink (``write(event)``/``flush()``/``close()``)
+        fed the post-sampling stream."""
+        self._streams.append(sink)
 
     # -- recording -------------------------------------------------------------
 
@@ -96,10 +134,7 @@ class Tracer:
         args: Optional[Dict] = None,
     ) -> None:
         """A duration event: [ts, ts+dur) in simulated seconds."""
-        event = TraceEvent(ts, dur, name, cat, track, args)
-        self.events.append(event)
-        for sink in self._sinks:
-            sink(event)
+        self._record(TraceEvent(ts, dur, name, cat, track, args))
 
     def instant(
         self,
@@ -109,10 +144,87 @@ class Tracer:
         cat: str = "sim",
         args: Optional[Dict] = None,
     ) -> None:
-        event = TraceEvent(ts, None, name, cat, track, args)
-        self.events.append(event)
+        self._record(TraceEvent(ts, None, name, cat, track, args))
+
+    def _record(self, event: TraceEvent) -> None:
         for sink in self._sinks:
             sink(event)
+        self.events_recorded += 1
+        if event.ts < self._last_ts:
+            self._monotonic = False
+        else:
+            self._last_ts = event.ts
+        if self._sampler is not None:
+            self._sampler.feed(event)
+            resident = len(self.events) + self._sampler.pending_events
+        else:
+            self._emit(event)
+            resident = len(self.events)
+        if resident > self.peak_resident_events:
+            self.peak_resident_events = resident
+
+    def _emit(self, event: TraceEvent) -> None:
+        """One event past the sampling stage: retained + streamed."""
+        self.events_emitted += 1
+        if self._retain:
+            self.events.append(event)
+            cap = self._retain_cap
+            if cap is not None and len(self.events) > cap:
+                # promotion can interleave late events; drop the oldest
+                del self.events[: len(self.events) - cap]
+                self._monotonic = False
+        for stream in self._streams:
+            stream.write(event)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush streaming sinks to disk (pending sampler state is kept:
+        in-flight windows may still be promoted). The simulator calls
+        this when a run loop drains, so shards are durable at every run
+        boundary."""
+        for stream in self._streams:
+            stream.flush()
+
+    def close(self) -> None:
+        """Finalize: drain the sampler (windows still pending count as
+        sampled out) and close every streaming sink (writing shard
+        manifests). Call once, at end of run, before reading stats."""
+        if self._sampler is not None:
+            self._sampler.drain()
+        for stream in self._streams:
+            stream.close()
+
+    # -- self-accounting -------------------------------------------------------
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(getattr(s, "bytes_written", 0) for s in self._streams)
+
+    @property
+    def events_sampled_out(self) -> int:
+        """Events dropped by sampling so far (events still pending in
+        the sampler's buffer are counted only after :meth:`close`)."""
+        if self._sampler is None:
+            return 0
+        return self._sampler.events_sampled_out
+
+    def resident_events(self) -> int:
+        pending = self._sampler.pending_events if self._sampler else 0
+        return len(self.events) + pending
+
+    def stats(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "events_recorded": self.events_recorded,
+            "events_emitted": self.events_emitted,
+            "events_sampled_out": self.events_sampled_out,
+            "bytes_written": self.bytes_written,
+            "resident_events": self.resident_events(),
+            "peak_resident_events": self.peak_resident_events,
+        }
+        if self._sampler is not None:
+            out["sampler"] = self._sampler.stats()
+        return out
 
     # -- queries (mostly for tests and the timeline) ---------------------------
 
@@ -136,10 +248,20 @@ class Tracer:
             fp.write(json.dumps(event.as_dict(), sort_keys=True))
             fp.write("\n")
 
+    def ordered_events(self) -> List[TraceEvent]:
+        """Events in time order. The sim clock is monotonic, so events
+        almost always arrive already sorted -- the recording path tracks
+        that in O(1) and this returns the list as-is; only when order
+        was broken (sampler promotions flush buffered events late, or a
+        bounded ``retain`` dropped a prefix) does it pay for a stable
+        sort, which keeps simultaneous events in recording order."""
+        if self._monotonic:
+            return self.events
+        return sorted(self.events, key=lambda e: e.ts)
+
     def timeline(self, limit: Optional[int] = None) -> str:
-        """Human-readable, time-ordered; stable sort keeps simultaneous
-        events in recording order."""
-        ordered = sorted(self.events, key=lambda e: e.ts)
+        """Human-readable, time-ordered (see :meth:`ordered_events`)."""
+        ordered = self.ordered_events()
         if limit is not None:
             ordered = ordered[:limit]
         lines = []
@@ -161,8 +283,9 @@ class Tracer:
         """The trace as a chrome://tracing / Perfetto JSON object."""
         tids: Dict[str, int] = {}
         trace_events: List[Dict[str, object]] = []
+        ordered = self.ordered_events()
         # Deterministic tids: tracks numbered in first-appearance order.
-        for event in self.events:
+        for event in ordered:
             if event.track not in tids:
                 tids[event.track] = len(tids) + 1
         trace_events.append(
@@ -184,7 +307,7 @@ class Tracer:
                     "args": {"name": track},
                 }
             )
-        for event in self.events:
+        for event in ordered:
             entry: Dict[str, object] = {
                 "name": event.name,
                 "cat": event.cat,

@@ -122,6 +122,57 @@ class TestRegistry:
         assert list(json.loads(one)) == ["a.first", "m.mid", "z.last"]
 
 
+class TestCardinalityCaps:
+    def test_over_cap_keys_collapse_into_overflow_series(self):
+        from repro.obs import OVERFLOW_LABEL
+
+        reg = MetricsRegistry()
+        fam = reg.counter("link.bytes", labels=("link",), max_series=2)
+        fam.labels(link="a").inc(1)
+        fam.labels(link="b").inc(2)
+        fam.labels(link="c").inc(4)  # over the cap
+        fam.labels(link="d").inc(8)  # also routed
+        assert fam.series_count() == 3  # a, b, __overflow__
+        snap = reg.snapshot()["link.bytes"]
+        values = {s["labels"]["link"]: s["value"] for s in snap["series"]}
+        assert values == {"a": 1, "b": 2, OVERFLOW_LABEL: 12}
+        assert snap["overflow_routed"] == 2  # distinct collapsed keys
+
+    def test_existing_series_keep_updating_past_the_cap(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits", labels=("t",), max_series=1)
+        fam.labels(t="hot").inc()
+        fam.labels(t="cold").inc()  # routed
+        fam.labels(t="hot").inc()  # pre-existing: updates in place
+        snap = reg.snapshot()["hits"]
+        values = {s["labels"]["t"]: s["value"] for s in snap["series"]}
+        assert values["hot"] == 2
+
+    def test_overflow_routed_absent_when_cap_never_bites(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits", labels=("t",), max_series=10)
+        fam.labels(t="a").inc()
+        assert "overflow_routed" not in reg.snapshot()["hits"]
+
+    def test_registry_wide_default_and_per_family_override(self):
+        reg = MetricsRegistry(max_series_per_family=1)
+        capped = reg.counter("capped", labels=("k",))
+        roomy = reg.counter("roomy", labels=("k",), max_series=10)
+        for key in ("a", "b", "c"):
+            capped.labels(k=key).inc()
+            roomy.labels(k=key).inc()
+        assert capped.series_count() == 2  # one real + overflow
+        assert roomy.series_count() == 3
+        assert reg.total_series() == 5
+
+    def test_label_free_families_never_overflow(self):
+        reg = MetricsRegistry(max_series_per_family=1)
+        fam = reg.counter("plain")
+        fam.inc(5)
+        assert reg.snapshot()["plain"]["series"][0]["value"] == 5
+        assert "overflow_routed" not in reg.snapshot()["plain"]
+
+
 class TestHistogram:
     def test_percentiles_linear_interpolation(self):
         reg = MetricsRegistry()
