@@ -23,7 +23,7 @@ CLI); every finding carries the rule name and a stable ``NCLxxxx`` code.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.diag import DiagnosticSink
 from repro.ncl.sema import TranslationUnit
@@ -46,15 +46,15 @@ class AnalysisContext:
         sink: DiagnosticSink,
         profile: Optional[ArchProfile] = None,
         and_spec: object = None,
-    ):
+    ) -> None:
         self.unit = unit
         self.module = module
         self.sink = sink
         self.profile = profile or BMV2
         self.and_spec = and_spec
-        self._absint_fns = None
+        self._absint_fns: Optional[List[Tuple[object, object]]] = None
 
-    def absint_functions(self):
+    def absint_functions(self) -> List[Tuple[object, object]]:
         """Lazily-computed ``[(ssa_function, FunctionFacts)]`` pairs.
 
         The lint module is pre-SSA (lenient lowering output), so each
@@ -111,7 +111,7 @@ class Rule:
 _REGISTRY: Dict[str, Rule] = {}
 
 
-def register(cls):
+def register(cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding a rule (one shared instance) to the registry."""
     instance = cls()
     if instance.name in _REGISTRY:

@@ -1,0 +1,69 @@
+"""Whole-fabric deployment checking (``nclc check-deploy``).
+
+The single-program pipeline proves one program fits one switch; this
+package proves a *deployment* -- N compiled programs co-resident on one
+multi-switch fabric -- is admissible before anything is simulated or
+installed. It is the static half of multi-tenant INC-as-a-service
+(ROADMAP item 3): the admission controller runs these checks and rejects
+a tenant *with diagnostics* instead of letting the fabric misbehave.
+
+Layers:
+
+* :mod:`repro.analysis.deploy.model` -- :class:`Deployment` /
+  :class:`TenantDeployment` and the manifest parser;
+* :mod:`repro.analysis.deploy.checks` -- the check registry (resource
+  admission, isolation, placement, transport; NCL0910--NCL0941);
+* :mod:`repro.analysis.deploy.report` -- the deterministic
+  ``repro.deploy/1`` report and its text renderer.
+
+Programmatic entry point: :func:`check_deployment`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.deploy.checks import (
+    DeployCheck,
+    DeployContext,
+    all_checks,
+    run_checks,
+)
+from repro.analysis.deploy.model import (
+    Deployment,
+    TenantDeployment,
+    parse_deployment,
+)
+from repro.analysis.deploy.report import (
+    SCHEMA,
+    build_report,
+    render_report_json,
+    render_report_text,
+)
+from repro.diag import DiagnosticSink
+
+
+def check_deployment(
+    deployment: Deployment, sink: Optional[DiagnosticSink] = None
+) -> DeployContext:
+    """Run every deployment check; returns the populated context (its
+    ``sink`` holds the deduped findings, ready for the report)."""
+    ctx = DeployContext(deployment, sink if sink is not None else DiagnosticSink())
+    run_checks(ctx)
+    return ctx
+
+
+__all__ = [
+    "SCHEMA",
+    "DeployCheck",
+    "DeployContext",
+    "Deployment",
+    "TenantDeployment",
+    "all_checks",
+    "build_report",
+    "check_deployment",
+    "parse_deployment",
+    "render_report_json",
+    "render_report_text",
+    "run_checks",
+]

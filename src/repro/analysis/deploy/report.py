@@ -1,0 +1,168 @@
+"""The ``repro.deploy/1`` deployment report.
+
+``check-deploy`` emits one report per run: the fabric, every tenant's
+placement, the per-switch admission ledger (who uses how much of which
+resource, against which chip profile), and the structured diagnostics.
+The JSON form is byte-deterministic -- sorted keys, sorted collections,
+diagnostics in source order -- so golden tests and CI gates can diff it
+verbatim, exactly like the ``repro.diag/1`` and ``repro.nclc/1``
+artifacts it builds on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.deploy.checks import DeployContext
+from repro.analysis.deploy.model import Deployment
+from repro.diag import DiagnosticSink, Severity
+from repro.diag.export import diagnostic_dict
+from repro.diag.render import SourceMap, render_diagnostic
+
+SCHEMA = "repro.deploy/1"
+
+#: the admission ledger's resource columns (AcceptanceReport attrs)
+_RESOURCES = ("stages", "phv_bits", "sram_bytes", "tables", "actions")
+
+#: ArchProfile capacity attr per resource column
+_CAPACITY = {
+    "stages": "max_stages",
+    "phv_bits": "phv_bits",
+    "sram_bytes": "sram_bytes",
+    "tables": "max_tables",
+    "actions": "max_actions",
+}
+
+
+def admission_ledger(ctx: DeployContext) -> Dict[str, object]:
+    """Per-switch resource accounting: per-tenant use, totals, capacity."""
+    ledger: Dict[str, object] = {}
+    for node in sorted(ctx.fabric.switches, key=lambda n: n.name):
+        residents = ctx.residents(node.name)
+        profile = ctx.fabric.switch_profile(node.name)
+        tenants: Dict[str, Dict[str, int]] = {}
+        used = {res: 0 for res in _RESOURCES}
+        for tenant, label in residents:
+            report = tenant.program.reports.get(label)
+            if report is None:
+                continue
+            row = {res: int(getattr(report, res)) for res in _RESOURCES}
+            tenants[f"{tenant.name}/{label}"] = row
+            for res in _RESOURCES:
+                used[res] += row[res]
+        ledger[node.name] = {
+            "profile": profile.name,
+            "tenants": tenants,
+            "used": used,
+            "capacity": {
+                res: int(getattr(profile, attr))
+                for res, attr in _CAPACITY.items()
+            },
+        }
+    return ledger
+
+
+def build_report(ctx: DeployContext) -> Dict[str, object]:
+    """The full ``repro.deploy/1`` dict (JSON-ready, deterministic)."""
+    deployment = ctx.deployment
+    sink = ctx.sink
+    tenants: List[Dict[str, object]] = []
+    for tenant in deployment.tenants:
+        assignment, _problems = ctx.host_assignment(tenant)
+        tenants.append(
+            {
+                "name": tenant.name,
+                "program": tenant.program_path,
+                "idbase": tenant.idbase,
+                "kernels": {
+                    name: eff
+                    for name, eff in sorted(
+                        tenant.effective_kernel_ids().items()
+                    )
+                },
+                "placement": dict(sorted(tenant.placement.items())),
+                "hosts": dict(sorted(assignment.items())),
+            }
+        )
+    return {
+        "schema": SCHEMA,
+        "fabric": deployment.fabric.to_dict(),
+        "tenants": tenants,
+        "admission": admission_ledger(ctx),
+        "diagnostics": [diagnostic_dict(d) for d in sink.sorted()],
+        "summary": {
+            "errors": sink.count(Severity.ERROR),
+            "warnings": sink.count(Severity.WARNING),
+            "notes": sink.count(Severity.NOTE),
+        },
+        "admissible": not sink.has_errors,
+    }
+
+
+def render_report_json(ctx: DeployContext) -> str:
+    """Byte-deterministic JSON text of :func:`build_report`."""
+    return json.dumps(build_report(ctx), indent=2, sort_keys=True) + "\n"
+
+
+def _fmt_use(used: int, cap: int) -> str:
+    pct = 100 * used // cap if cap else 0
+    return f"{used}/{cap} ({pct}%)"
+
+
+def render_report_text(ctx: DeployContext) -> str:
+    """The human-readable report: utilization table, diagnostics with
+    caret excerpts into the manifest and NCL sources, verdict line."""
+    deployment: Deployment = ctx.deployment
+    sink: DiagnosticSink = ctx.sink
+    out: List[str] = []
+    out.append(
+        f"deployment {deployment.filename}: "
+        f"{len(deployment.tenants)} tenant(s) on "
+        f"{len(deployment.fabric.switches)} switch(es), "
+        f"{len(deployment.fabric.hosts)} host(s)"
+    )
+    out.append("")
+    ledger = admission_ledger(ctx)
+    for switch, entry in ledger.items():
+        tenants = entry["tenants"]
+        used = entry["used"]
+        cap = entry["capacity"]
+        out.append(
+            f"  switch {switch} ({entry['profile']}): "
+            f"{len(tenants)} resident program(s)"
+        )
+        out.append(
+            "    stages "
+            + _fmt_use(used["stages"], cap["stages"])
+            + ", phv "
+            + _fmt_use(used["phv_bits"], cap["phv_bits"])
+            + ", sram "
+            + _fmt_use(used["sram_bytes"], cap["sram_bytes"])
+            + ", tables "
+            + _fmt_use(used["tables"], cap["tables"])
+            + ", actions "
+            + _fmt_use(used["actions"], cap["actions"])
+        )
+        for who, row in tenants.items():
+            out.append(
+                f"      {who}: {row['stages']} stages, "
+                f"{row['phv_bits']} phv bits, {row['sram_bytes']} sram "
+                f"bytes, {row['tables']} tables, {row['actions']} actions"
+            )
+    diags = sink.sorted()
+    if diags:
+        out.append("")
+        sources = SourceMap(deployment.sources)
+        for diag in diags:
+            out.append(render_diagnostic(diag, sources).rstrip("\n"))
+            out.append("")
+    errors = sink.count(Severity.ERROR)
+    warnings = sink.count(Severity.WARNING)
+    if errors:
+        out.append(
+            f"deployment REJECTED: {errors} error(s), {warnings} warning(s)"
+        )
+    else:
+        out.append(f"deployment ADMISSIBLE: {warnings} warning(s)")
+    return "\n".join(out) + "\n"

@@ -1,13 +1,19 @@
-"""Abstract Network Description: overlay model, parser, physical mapping."""
+"""Abstract Network Description: overlay model, parser, physical mapping,
+and the physical-fabric spec the deployment checker admits programs onto."""
 
+from repro.andspec.fabric import FabricLink, FabricNode, FabricSpec, parse_fabric
 from repro.andspec.mapping import Mapping, PhysicalNet, map_overlay
 from repro.andspec.model import AndNode, AndSpec, parse_and
 
 __all__ = [
     "AndNode",
     "AndSpec",
+    "FabricLink",
+    "FabricNode",
+    "FabricSpec",
     "Mapping",
     "PhysicalNet",
     "map_overlay",
     "parse_and",
+    "parse_fabric",
 ]

@@ -1,0 +1,343 @@
+"""The physical fabric description (``FabricSpec``).
+
+The AND (:mod:`repro.andspec.model`) describes *one application's*
+functional overlay; a :class:`FabricSpec` describes the shared physical
+substrate many such applications are deployed onto: switches with their
+chip profiles, hosts, and links with their MTUs. It is the
+deployment-time counterpart of the AND -- the whole-fabric static
+analyzer (:mod:`repro.analysis.deploy`) admits N compiled programs onto
+one fabric by checking their summed resource demands, isolation and
+placement against this description.
+
+Text format (one declaration per line, ``#`` comments)::
+
+    switch sw0 profile=tofino-like
+    switch sw1                      # profile defaults to bmv2
+    host   worker0
+    link   worker0 sw0 mtu=1500     # mtu defaults to 1500
+    link   sw0 sw1 mtu=9000
+
+The spec is serializable in both directions (:meth:`FabricSpec.render`
+/ :func:`parse_fabric`, :meth:`FabricSpec.to_dict` /
+:meth:`FabricSpec.from_dict`) and converts to the mapper's
+:class:`repro.andspec.mapping.PhysicalNet` via
+:meth:`FabricSpec.to_physical`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import AndError, SourceLocation
+
+DEFAULT_MTU = 1500
+DEFAULT_PROFILE = "bmv2"
+
+
+class FabricNode:
+    """One physical node: a host, or a switch with a chip profile."""
+
+    __slots__ = ("name", "kind", "profile", "loc")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        profile: Optional[str] = None,
+        loc: Optional[SourceLocation] = None,
+    ) -> None:
+        if kind not in ("host", "switch"):
+            raise AndError(f"unknown fabric node kind {kind!r}")
+        if kind == "host" and profile is not None:
+            raise AndError(f"host {name!r} cannot carry a chip profile")
+        self.name = name
+        self.kind = kind
+        #: chip profile name (switches only); resolved lazily so a spec
+        #: can be parsed without importing the PISA architecture tables
+        self.profile: Optional[str] = (
+            (profile or DEFAULT_PROFILE) if kind == "switch" else None
+        )
+        #: declaration site in the fabric/deployment file, when parsed
+        self.loc = loc
+
+    @property
+    def is_switch(self) -> bool:
+        return self.kind == "switch"
+
+    @property
+    def is_host(self) -> bool:
+        return self.kind == "host"
+
+    def __repr__(self) -> str:
+        prof = f" profile={self.profile}" if self.is_switch else ""
+        return f"FabricNode({self.kind} {self.name}{prof})"
+
+
+class FabricLink:
+    """One physical link with its MTU (bytes of frame it can carry)."""
+
+    __slots__ = ("a", "b", "mtu", "loc")
+
+    def __init__(
+        self,
+        a: str,
+        b: str,
+        mtu: int = DEFAULT_MTU,
+        loc: Optional[SourceLocation] = None,
+    ) -> None:
+        if mtu <= 0:
+            raise AndError(f"link {a!r} -- {b!r}: mtu must be positive")
+        self.a = a
+        self.b = b
+        self.mtu = int(mtu)
+        self.loc = loc
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+    def __repr__(self) -> str:
+        return f"FabricLink({self.a} -- {self.b}, mtu={self.mtu})"
+
+
+class FabricSpec:
+    """A parsed and validated physical fabric."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, FabricNode] = {}
+        self.links: List[FabricLink] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(
+        self,
+        name: str,
+        kind: str,
+        profile: Optional[str] = None,
+        loc: Optional[SourceLocation] = None,
+    ) -> FabricNode:
+        if name in self.nodes:
+            raise AndError(f"duplicate fabric node {name!r}")
+        node = FabricNode(name, kind, profile, loc)
+        self.nodes[name] = node
+        return node
+
+    def add_host(
+        self, name: str, loc: Optional[SourceLocation] = None
+    ) -> FabricNode:
+        return self.add_node(name, "host", loc=loc)
+
+    def add_switch(
+        self,
+        name: str,
+        profile: Optional[str] = None,
+        loc: Optional[SourceLocation] = None,
+    ) -> FabricNode:
+        return self.add_node(name, "switch", profile, loc)
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        mtu: int = DEFAULT_MTU,
+        loc: Optional[SourceLocation] = None,
+    ) -> FabricLink:
+        for name in (a, b):
+            if name not in self.nodes:
+                raise AndError(f"link references unknown fabric node {name!r}")
+        if a == b:
+            raise AndError(f"self-link on {a!r}")
+        link = FabricLink(a, b, mtu, loc)
+        if any(link.key == existing.key for existing in self.links):
+            raise AndError(f"duplicate link {a!r} -- {b!r}")
+        self.links.append(link)
+        return link
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def hosts(self) -> List[FabricNode]:
+        return [n for n in self.nodes.values() if n.is_host]
+
+    @property
+    def switches(self) -> List[FabricNode]:
+        return [n for n in self.nodes.values() if n.is_switch]
+
+    def node(self, name: str) -> FabricNode:
+        if name not in self.nodes:
+            raise AndError(f"unknown fabric node {name!r}")
+        return self.nodes[name]
+
+    def link_between(self, a: str, b: str) -> Optional[FabricLink]:
+        key = (a, b) if a <= b else (b, a)
+        for link in self.links:
+            if link.key == key:
+                return link
+        return None
+
+    def neighbors(self, name: str) -> List[str]:
+        self.node(name)
+        out: List[str] = []
+        for link in self.links:
+            if link.a == name:
+                out.append(link.b)
+            elif link.b == name:
+                out.append(link.a)
+        return out
+
+    def switch_profile(self, name: str) -> "ArchProfile":
+        """The resolved :class:`repro.pisa.arch.ArchProfile` of a switch."""
+        from repro.pisa.arch import ArchProfile, profile_by_name
+
+        node = self.node(name)
+        if not node.is_switch:
+            raise AndError(f"fabric node {name!r} is a host, not a switch")
+        profile: ArchProfile = profile_by_name(node.profile)
+        return profile
+
+    def validate(self) -> None:
+        if not self.nodes:
+            raise AndError("empty fabric: no nodes declared")
+        from repro.pisa.arch import PROFILES
+
+        for node in self.switches:
+            if node.profile not in PROFILES:
+                raise AndError(
+                    f"switch {node.name!r} names unknown chip profile "
+                    f"{node.profile!r} (known: {', '.join(sorted(PROFILES))})"
+                )
+
+    def to_physical(self) -> "PhysicalNet":
+        """The mapper's view of this fabric (a kind-attributed graph)."""
+        from repro.andspec.mapping import PhysicalNet
+
+        phys = PhysicalNet()
+        for node in self.nodes.values():
+            if node.is_host:
+                phys.add_host(node.name)
+            else:
+                phys.add_switch(node.name)
+        for link in self.links:
+            phys.add_link(link.a, link.b)
+        return phys
+
+    # -- serialization ------------------------------------------------------
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for node in self.nodes.values():
+            if node.is_switch:
+                lines.append(f"switch {node.name} profile={node.profile}")
+            else:
+                lines.append(f"host   {node.name}")
+        lines += [
+            f"link   {link.a} {link.b} mtu={link.mtu}" for link in self.links
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict (deterministically ordered)."""
+        return {
+            "hosts": sorted(n.name for n in self.hosts),
+            "switches": [
+                {"name": n.name, "profile": n.profile}
+                for n in sorted(self.switches, key=lambda n: n.name)
+            ],
+            "links": [
+                {"a": link.key[0], "b": link.key[1], "mtu": link.mtu}
+                for link in sorted(self.links, key=lambda link: link.key)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FabricSpec":
+        spec = cls()
+        for name in data.get("hosts", []):  # type: ignore[union-attr]
+            spec.add_host(str(name))
+        for sw in data.get("switches", []):  # type: ignore[union-attr]
+            spec.add_switch(str(sw["name"]), str(sw["profile"]))
+        for ln in data.get("links", []):  # type: ignore[union-attr]
+            spec.add_link(str(ln["a"]), str(ln["b"]), int(ln.get("mtu", DEFAULT_MTU)))
+        return spec
+
+    def __repr__(self) -> str:
+        return (
+            f"FabricSpec({len(self.hosts)} hosts, {len(self.switches)} "
+            f"switches, {len(self.links)} links)"
+        )
+
+
+def parse_kv_options(
+    parts: List[str], where: str, allowed: Tuple[str, ...]
+) -> Dict[str, str]:
+    """Parse trailing ``key=value`` options of one declaration line."""
+    out: Dict[str, str] = {}
+    for part in parts:
+        if "=" not in part:
+            raise AndError(f"{where}: expected key=value, got {part!r}")
+        key, _, value = part.partition("=")
+        if key not in allowed:
+            raise AndError(
+                f"{where}: unknown option {key!r} "
+                f"(allowed: {', '.join(allowed)})"
+            )
+        if key in out:
+            raise AndError(f"{where}: duplicate option {key!r}")
+        out[key] = value
+    return out
+
+
+def fabric_lines(
+    text: str, filename: str = "<fabric>"
+) -> Iterator[Tuple[SourceLocation, List[str]]]:
+    """Comment-stripped, tokenized declaration lines with locations."""
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        column = len(raw) - len(raw.lstrip()) + 1
+        yield SourceLocation(filename, lineno, column), line.split()
+
+
+def parse_fabric(text: str, filename: str = "<fabric>") -> FabricSpec:
+    """Parse the fabric text format (``switch``/``host``/``link`` lines)."""
+    spec = FabricSpec()
+    pending: List[Tuple[SourceLocation, List[str]]] = []
+    for loc, parts in fabric_lines(text, filename):
+        kind = parts[0].lower()
+        where = f"line {loc.line}"
+        if kind in ("host", "switch"):
+            if len(parts) < 2:
+                raise AndError(f"{where}: expected '{kind} <name> [options]'")
+            options = parse_kv_options(
+                parts[2:], where, ("profile",) if kind == "switch" else ()
+            )
+            spec.add_node(parts[1], kind, options.get("profile"), loc)
+        elif kind == "link":
+            if len(parts) < 3:
+                raise AndError(f"{where}: expected 'link <a> <b> [mtu=N]'")
+            pending.append((loc, parts))
+        else:
+            raise AndError(f"{where}: unknown declaration {kind!r}")
+    for loc, parts in pending:
+        where = f"line {loc.line}"
+        options = parse_kv_options(parts[3:], where, ("mtu",))
+        try:
+            mtu = int(options.get("mtu", DEFAULT_MTU))
+        except ValueError:
+            raise AndError(f"{where}: bad mtu {options['mtu']!r}") from None
+        try:
+            spec.add_link(parts[1], parts[2], mtu, loc)
+        except AndError as exc:
+            raise AndError(f"{where}: {exc}") from None
+    spec.validate()
+    return spec
+
+
+# imported for typing only; kept at the bottom to avoid a hard import of
+# networkx (via mapping) when only the spec itself is needed
+from typing import TYPE_CHECKING  # noqa: E402
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.andspec.mapping import PhysicalNet
+    from repro.pisa.arch import ArchProfile

@@ -64,7 +64,7 @@ class Mapping:
         self,
         placement: Dict[str, str],
         edge_paths: Dict[Tuple[str, str], List[str]],
-    ):
+    ) -> None:
         #: overlay label -> physical node name
         self.placement = dict(placement)
         #: overlay edge -> physical node path (inclusive endpoints)

@@ -30,7 +30,7 @@ class AndNode:
 
     __slots__ = ("label", "kind", "node_id")
 
-    def __init__(self, label: str, kind: str, node_id: int):
+    def __init__(self, label: str, kind: str, node_id: int) -> None:
         if kind not in ("host", "switch"):
             raise AndError(f"unknown AND node kind {kind!r}")
         self.label = label

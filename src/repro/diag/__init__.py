@@ -19,7 +19,7 @@ Renderers live next door:
 from __future__ import annotations
 
 import enum
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import NclError, SourceLocation
 
@@ -42,7 +42,9 @@ class Span:
 
     __slots__ = ("loc", "length", "label")
 
-    def __init__(self, loc: SourceLocation, length: int = 1, label: Optional[str] = None):
+    def __init__(
+        self, loc: SourceLocation, length: int = 1, label: Optional[str] = None
+    ) -> None:
         self.loc = loc
         self.length = max(1, int(length))
         self.label = label
@@ -77,7 +79,7 @@ class Diagnostic:
         fixit: Optional[str] = None,
         rule: Optional[str] = None,
         status: Optional[str] = None,
-    ):
+    ) -> None:
         self.severity = severity
         self.code = code
         self.message = message
@@ -92,12 +94,35 @@ class Diagnostic:
         #: ranges admit it); None for findings without range evidence
         self.status = status
 
-    def sort_key(self) -> Tuple:
+    def sort_key(self) -> Tuple[Any, ...]:
         if self.primary is not None:
             where = (self.primary.filename, self.primary.line, self.primary.column)
         else:
             where = ("", 0, 0)
         return (*where, -int(self.severity), self.code, self.message)
+
+    @staticmethod
+    def _span_key(span: Optional[Span]) -> Tuple[Any, ...]:
+        if span is None:
+            return ()
+        return (
+            span.filename, span.line, span.column, span.length, span.label,
+        )
+
+    def identity(self) -> Tuple[Any, ...]:
+        """Full content identity: two diagnostics with equal identity
+        render byte-identically in both the text and JSON forms."""
+        return (
+            int(self.severity),
+            self.code,
+            self.message,
+            self._span_key(self.primary),
+            tuple(self._span_key(s) for s in self.secondary),
+            tuple(self.notes),
+            self.fixit,
+            self.rule,
+            self.status,
+        )
 
     def __repr__(self) -> str:
         where = f" at {self.primary.loc!r}" if self.primary else ""
@@ -119,7 +144,7 @@ class DiagnosticSink:
     framework switches them from fail-fast to collect-everything mode.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.diagnostics: List[Diagnostic] = []
 
     # -- emission ------------------------------------------------------
@@ -150,13 +175,22 @@ class DiagnosticSink:
             )
         )
 
-    def error(self, code: str, message: str, loc=None, **kw) -> Diagnostic:
+    def error(
+        self, code: str, message: str,
+        loc: Optional[SourceLocation] = None, **kw: Any,
+    ) -> Diagnostic:
         return self.report(Severity.ERROR, code, message, loc, **kw)
 
-    def warning(self, code: str, message: str, loc=None, **kw) -> Diagnostic:
+    def warning(
+        self, code: str, message: str,
+        loc: Optional[SourceLocation] = None, **kw: Any,
+    ) -> Diagnostic:
         return self.report(Severity.WARNING, code, message, loc, **kw)
 
-    def note(self, code: str, message: str, loc=None, **kw) -> Diagnostic:
+    def note(
+        self, code: str, message: str,
+        loc: Optional[SourceLocation] = None, **kw: Any,
+    ) -> Diagnostic:
         return self.report(Severity.NOTE, code, message, loc, **kw)
 
     # -- inspection ----------------------------------------------------
@@ -164,7 +198,7 @@ class DiagnosticSink:
     def __len__(self) -> int:
         return len(self.diagnostics)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Diagnostic]:
         return iter(self.diagnostics)
 
     def count(self, severity: Severity) -> int:
@@ -184,6 +218,29 @@ class DiagnosticSink:
         return sorted(self.diagnostics, key=Diagnostic.sort_key)
 
     # -- policy --------------------------------------------------------
+
+    def dedupe(self) -> int:
+        """Drop byte-identical duplicate diagnostics, keeping the first.
+
+        Analyses that inspect one site from several contexts (lint rules
+        collapse these per rule; deployment checks see every tenant pair
+        and every switch) can emit the same finding -- same severity,
+        code, message, spans, notes, fix-it -- more than once. Identity
+        is :meth:`Diagnostic.identity`, i.e. the full rendered content,
+        so two *different* findings at one location both survive.
+        Returns the number of diagnostics removed.
+        """
+        seen = set()
+        kept: List[Diagnostic] = []
+        for diag in self.diagnostics:
+            key = diag.identity()
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(diag)
+        removed = len(self.diagnostics) - len(kept)
+        self.diagnostics = kept
+        return removed
 
     def promote_warnings(self) -> int:
         """``--werror``: turn every warning into an error. Returns how

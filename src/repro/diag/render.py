@@ -24,7 +24,7 @@ from repro.diag import Diagnostic, DiagnosticSink, Severity, Span
 class SourceMap:
     """Line-splitting cache over ``{filename: source_text}``."""
 
-    def __init__(self, sources: Optional[Mapping[str, str]] = None):
+    def __init__(self, sources: Optional[Mapping[str, str]] = None) -> None:
         self._lines: Dict[str, List[str]] = {}
         for name, text in (sources or {}).items():
             self.add(name, text)

@@ -118,6 +118,10 @@ class AndError(ReproError):
     """Invalid Abstract Network Description."""
 
 
+class DeployError(ReproError):
+    """Malformed deployment manifest (the check-deploy input)."""
+
+
 class MappingError(ReproError):
     """The AND overlay could not be mapped onto the physical topology."""
 

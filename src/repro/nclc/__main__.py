@@ -19,6 +19,11 @@ PISA-resource explanations -- see :mod:`repro.nclc.lint`)::
 
     python -m repro.nclc lint program.ncl [--json] [--werror] [-W race]
 
+Or statically admit a whole multi-tenant deployment -- N programs,
+one fabric -- before simulating it (see :mod:`repro.nclc.deploy`)::
+
+    python -m repro.nclc check-deploy fabric.deploy [--json] [--werror]
+
 Outputs, per switch label: ``<label>.p4`` (generated source) and
 ``<label>.report.json`` (the backend's acceptance report). A rejection
 prints the backend's feedback and exits non-zero -- the trial-and-error
@@ -59,6 +64,10 @@ def main(argv=None) -> int:
         from repro.nclc.lint import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "check-deploy":
+        from repro.nclc.deploy import main as deploy_main
+
+        return deploy_main(argv[1:])
     if argv and argv[0] == "build":
         argv = argv[1:]
     args = cli.build_parser().parse_args(argv)

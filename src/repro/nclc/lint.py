@@ -69,6 +69,11 @@ def main(argv=None) -> int:
         for rule in all_rules():
             codes = ", ".join(rule.codes)
             print(f"{rule.name:20} {codes:30} {rule.about}")
+        print()
+        print("deployment checks (nclc check-deploy):")
+        from repro.nclc.deploy import list_rules as list_deploy_rules
+
+        list_deploy_rules()
         return 0
     if not args.sources:
         print("error: no source files given", file=sys.stderr)

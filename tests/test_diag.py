@@ -172,3 +172,59 @@ class TestExport:
         grouped = findings_by_code(self.make_sink())
         assert set(grouped) == {"NCL0400", "NCL0701"}
         assert len(grouped["NCL0701"]) == 1
+
+
+class TestDedupe:
+    """Sink dedupe: byte-identical findings from several analysis
+    contexts collapse to one; anything content-distinct survives."""
+
+    def test_identical_diagnostics_collapse(self):
+        sink = DiagnosticSink()
+        for _ in range(3):
+            sink.error(
+                "NCL0921", "aliases", loc(4, 2),
+                notes=["shared"], fixit="rename it", rule="namespaces",
+            )
+        assert sink.dedupe() == 2
+        assert len(sink) == 1
+
+    def test_first_occurrence_and_order_kept(self):
+        sink = DiagnosticSink()
+        a = sink.error("NCL0400", "first", loc(1, 1))
+        sink.warning("NCL0703", "second", loc(2, 1))
+        sink.error("NCL0400", "first", loc(1, 1))
+        assert sink.dedupe() == 1
+        assert sink.diagnostics[0] is a
+        assert [d.message for d in sink] == ["first", "second"]
+
+    def test_any_content_difference_survives(self):
+        base = dict(loc=loc(1, 1), notes=["n"], fixit="f", rule="r")
+        sink = DiagnosticSink()
+        sink.error("NCL0400", "msg", **base)
+        sink.error("NCL0400", "msg", loc=loc(1, 2), notes=["n"], fixit="f", rule="r")
+        sink.error("NCL0400", "msg", loc=loc(1, 1), notes=["other"], fixit="f", rule="r")
+        sink.error("NCL0400", "msg", loc=loc(1, 1), notes=["n"], fixit="g", rule="r")
+        sink.warning("NCL0400", "msg", **base)
+        sink.error("NCL0401", "msg", **base)
+        assert sink.dedupe() == 0
+        assert len(sink) == 6
+
+    def test_secondary_spans_participate_in_identity(self):
+        sink = DiagnosticSink()
+        sink.error("NCL0400", "msg", loc(1, 1),
+                   secondary=[Span(loc(5, 1), 2, "here")])
+        sink.error("NCL0400", "msg", loc(1, 1),
+                   secondary=[Span(loc(5, 1), 2, "there")])
+        sink.error("NCL0400", "msg", loc(1, 1),
+                   secondary=[Span(loc(5, 1), 2, "here")])
+        assert sink.dedupe() == 1
+        assert len(sink) == 2
+
+    def test_status_participates_in_identity(self):
+        sink = DiagnosticSink()
+        sink.warning("NCL0802", "overflow", loc(1, 1), status="proved")
+        sink.warning("NCL0802", "overflow", loc(1, 1), status="possible")
+        assert sink.dedupe() == 0
+
+    def test_empty_sink(self):
+        assert DiagnosticSink().dedupe() == 0
