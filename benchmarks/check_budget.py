@@ -16,13 +16,17 @@ intentional change, regenerate with::
 
     python benchmarks/check_budget.py --update
 
-Two metrics are *wall-clock throughput floors* rather than deterministic
-two-sided budgets: the profiler's events/sec and packets/sec on the
-standard AllReduce round. They carry ``"kind": "floor"`` and pass when
-the measured value is at or above the budget; ``--update`` sets the
-floor to a fifth of the measured throughput, loose enough for noisy CI
-machines but tight enough to catch an order-of-magnitude simulator
-regression.
+Some metrics are *wall-clock throughput floors* rather than
+deterministic two-sided budgets: the profiler's events/sec and
+packets/sec on the standard AllReduce round, and the ``sim_scale.*``
+datacenter smoke (scheduler churn events/sec for both schedulers, the
+wheel/heap speedup ratio, and the k=8 fat-tree packet-push throughput).
+They carry ``"kind": "floor"`` and pass when the measured value is at
+or above the budget; ``--update`` sets each floor to a per-metric
+fraction of the measured value (see ``FLOOR_METRICS``) -- a fifth for
+raw throughputs (loose enough for noisy CI machines, tight enough to
+catch an order-of-magnitude regression), 0.7 for the scheduler speedup
+ratio, where same-machine noise cancels.
 
 The whole-fabric deployment checker is gated the same way: one
 ``check-deploy`` pass over the 64-switch / 8-tenant bench fabric
@@ -63,12 +67,19 @@ SCHEMA = "repro.budgets/1"
 DEFAULT_TOLERANCE_PCT = 5.0
 
 #: wall-clock throughput metrics get one-sided floor budgets; --update
-#: sets floor = measured * FLOOR_FRACTION
-FLOOR_METRICS = (
-    "fig4_allreduce.events_per_sec",
-    "fig4_allreduce.packets_per_sec",
-)
-FLOOR_FRACTION = 0.2
+#: sets floor = measured * fraction. The scheduler speedup ratio keeps a
+#: much tighter fraction than raw throughputs: it is a ratio of two
+#: same-machine runs, so machine noise largely cancels, and the point of
+#: the gate is that the wheel stays decisively ahead of the heap.
+FLOOR_METRICS = {
+    "fig4_allreduce.events_per_sec": 0.2,
+    "fig4_allreduce.packets_per_sec": 0.2,
+    "sim_scale.sched_events_per_sec_heap": 0.2,
+    "sim_scale.sched_events_per_sec_wheel": 0.2,
+    "sim_scale.sched_speedup_x": 0.7,
+    "sim_scale.fattree_events_per_sec": 0.2,
+    "sim_scale.fattree_packets_per_sec": 0.2,
+}
 
 #: overhead metrics get one-sided ceiling budgets (pass at or below);
 #: --update sets ceiling = measured * headroom. Wall-clock ceilings
@@ -169,6 +180,13 @@ def measure() -> tuple:
 
     out.update(measure_deploy_check())
 
+    # -- datacenter-scale smoke: scheduler churn + k=8 fat-tree push ------
+    # (>=100k packets; the full >=1M-packet run is
+    # `python benchmarks/bench_sim_scale.py` without --smoke)
+    from benchmarks.bench_sim_scale import measure_sim_scale
+
+    out.update(measure_sim_scale(smoke=True))
+
     # -- two-switch flow telemetry (SPMD path), untraced ------------------
     cluster = TelemetryCluster(n_senders=2, slots=16, hh_threshold=3)
     for _ in range(6):
@@ -268,8 +286,11 @@ def update(measured: dict) -> None:
     }
     for name in sorted(measured):
         if name in FLOOR_METRICS:
+            floor = measured[name] * FLOOR_METRICS[name]
             data["metrics"][name] = {
-                "budget": int(measured[name] * FLOOR_FRACTION),
+                "budget": round(floor, 2)
+                if isinstance(measured[name], float)
+                else int(floor),
                 "kind": "floor",
             }
         elif name in CEILING_METRICS:

@@ -41,8 +41,12 @@ class PhysicalNet:
     def add_host(self, name: str) -> None:
         self.graph.add_node(name, kind="host")
 
-    def add_switch(self, name: str) -> None:
-        self.graph.add_node(name, kind="switch")
+    def add_switch(self, name: str, pisa: bool = True) -> None:
+        """Add a switch; ``pisa=False`` marks a plain forwarder (e.g. a
+        fat-tree aggregation/core tier) that can carry traffic but not
+        host kernels -- the mapper will route through it, never place on
+        it."""
+        self.graph.add_node(name, kind="switch", pisa=pisa)
 
     def add_link(self, a: str, b: str) -> None:
         for n in (a, b):
@@ -55,6 +59,13 @@ class PhysicalNet:
 
     def switches(self) -> List[str]:
         return [n for n, d in self.graph.nodes(data=True) if d["kind"] == "switch"]
+
+    def pisa_switches(self) -> List[str]:
+        """Switches that can host kernels (programmable targets only)."""
+        return [
+            n for n, d in self.graph.nodes(data=True)
+            if d["kind"] == "switch" and d.get("pisa", True)
+        ]
 
 
 class Mapping:
@@ -93,7 +104,9 @@ def map_overlay(
     """
     graph = physical.graph
     phys_hosts = physical.hosts()
-    phys_switches = physical.switches()
+    # Kernels can only be placed on programmable switches; plain
+    # forwarders (fat-tree transit tiers) are path material, not targets.
+    phys_switches = physical.pisa_switches()
 
     placement: Dict[str, str] = {}
     used_hosts = set()

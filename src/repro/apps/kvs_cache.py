@@ -98,6 +98,7 @@ class KvsCluster:
         latency: float = 5e-6,
         server_delay: float = 50e-6,
         program=None,
+        obs=None,
     ):
         self.n_clients = n_clients
         self.cache_size = cache_size
@@ -110,7 +111,7 @@ class KvsCluster:
             n_clients, cache_size, val_words, profile=profile
         )
         self.cluster = Cluster.from_program(
-            self.program, bandwidth=bandwidth, latency=latency
+            self.program, bandwidth=bandwidth, latency=latency, obs=obs
         )
         self.server_id = server_id
         self.server = self.cluster.host("server")

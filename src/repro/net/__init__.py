@@ -1,20 +1,30 @@
 """Discrete-event network simulator: hosts, links, PISA switch nodes."""
 
-from repro.net.events import Simulator
+from repro.net.events import SCHEDULERS, Simulator, Timer, default_scheduler
+from repro.net.frame import Frame
 from repro.net.link import Link
 from repro.net.network import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Network, star_network
-from repro.net.node import HostNode, Node, PythonSwitchNode
+from repro.net.node import ForwardingSwitchNode, HostNode, Node, PythonSwitchNode
 from repro.net.pisanode import PisaSwitchNode
+from repro.net.topo import Topology, fat_tree, leaf_spine
 
 __all__ = [
     "DEFAULT_BANDWIDTH",
     "DEFAULT_LATENCY",
+    "ForwardingSwitchNode",
+    "Frame",
     "HostNode",
     "Link",
     "Network",
     "Node",
     "PisaSwitchNode",
     "PythonSwitchNode",
+    "SCHEDULERS",
     "Simulator",
+    "Timer",
+    "Topology",
+    "default_scheduler",
+    "fat_tree",
+    "leaf_spine",
     "star_network",
 ]

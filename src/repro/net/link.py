@@ -1,12 +1,29 @@
-"""Point-to-point links with latency, bandwidth and optional loss."""
+"""Point-to-point links with latency, bandwidth and optional loss.
+
+Delivery is *piped*: each direction of a link keeps a FIFO of in-flight
+``(arrival, frame)`` pairs and arms at most one scheduler event (the
+"wake") at a time; a wake drains every frame whose arrival time has
+come, then re-arms for the next head-of-queue arrival.  Because each
+direction's arrival times are non-decreasing (frames serialize behind
+one another), this preserves exact per-frame arrival times while
+replacing a per-frame closure allocation with a single bound-method
+callback per burst.
+
+``delivery_quantum`` optionally coalesces interrupts the way real NIC
+drivers do: arrival times are rounded up to the next quantum boundary,
+so a burst of back-to-back frames shares one wake event that delivers
+them all.  The default (``None``) keeps the exact un-coalesced timing.
+"""
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Optional, TYPE_CHECKING
+from collections import deque
+from typing import Deque, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import SimulationError
-from repro.ncp.wire import peek_frame
+from repro.net.frame import Frame
 
 if TYPE_CHECKING:
     from repro.net.node import Node
@@ -37,6 +54,47 @@ class LinkStats:
         return self.drops_loss + self.drops_overflow + self.drops_down
 
 
+class _Pipe:
+    """One direction's in-flight frames, drained by a single wake event."""
+
+    __slots__ = ("link", "receiver", "in_port", "queue", "armed")
+
+    def __init__(self, link: "Link", receiver: "Node", in_port: int) -> None:
+        self.link = link
+        self.receiver = receiver
+        self.in_port = in_port
+        self.queue: Deque[Tuple[float, Frame]] = deque()
+        self.armed = False
+
+    def push(self, sim: "Simulator", arrival: float, frame: Frame) -> None:
+        self.queue.append((arrival, frame))
+        if not self.armed:
+            self.armed = True
+            sim.schedule_at(arrival, self._wake, label=self.receiver.prof_rx_label)
+
+    def _wake(self) -> None:
+        receiver = self.receiver
+        sim = receiver.sim
+        now = sim.now()
+        queue = self.queue
+        in_port = self.in_port
+        if receiver.up:
+            while queue and queue[0][0] <= now:
+                receiver.handle_frame(queue.popleft()[1], in_port)
+        else:
+            # The receiving node failed with these frames in flight:
+            # they die at the NIC with drop cause ``down``.
+            link = self.link
+            while queue and queue[0][0] <= now:
+                link._drop_at_delivery(sim, receiver, queue.popleft()[1])
+        if queue:
+            sim.schedule_at(
+                queue[0][0], self._wake, label=receiver.prof_rx_label
+            )
+        else:
+            self.armed = False
+
+
 class Link:
     """A full-duplex link between two node ports.
 
@@ -58,15 +116,19 @@ class Link:
         loss: float = 0.0,
         seed: int = 0,
         queue_limit_bytes: Optional[int] = None,
+        delivery_quantum: Optional[float] = None,
     ):
         if bandwidth <= 0:
             raise SimulationError("bandwidth must be positive")
+        if delivery_quantum is not None and delivery_quantum <= 0:
+            raise SimulationError("delivery_quantum must be positive")
         self.a = a
         self.b = b
         self.latency = latency
         self.bandwidth = bandwidth
         self.loss = loss
         self.queue_limit_bytes = queue_limit_bytes
+        self.delivery_quantum = delivery_quantum
         self._rng = random.Random(seed)
         self._free_at = {a: 0.0, b: 0.0}
         #: administrative state; a downed link eats every frame (the
@@ -76,6 +138,11 @@ class Link:
         self.port_at = {
             a: a.attach_link(self),
             b: b.attach_link(self),
+        }
+        #: per-direction delivery pipes, keyed by the sending node
+        self._pipes = {
+            a: _Pipe(self, b, self.port_at[b]),
+            b: _Pipe(self, a, self.port_at[a]),
         }
 
     def other(self, node: "Node") -> "Node":
@@ -95,9 +162,9 @@ class Link:
     def track(self) -> str:
         return f"link {self.a.name}<->{self.b.name}"
 
-    def _trace_args(self, sender: "Node", receiver: "Node", data: bytes) -> dict:
-        args = {"dir": f"{sender.name}->{receiver.name}", "bytes": len(data)}
-        meta = peek_frame(data)
+    def _trace_args(self, sender: "Node", receiver: "Node", frame: Frame) -> dict:
+        args = {"dir": f"{sender.name}->{receiver.name}", "bytes": len(frame.data)}
+        meta = frame.meta
         if meta is not None:
             args["kernel"] = meta["kernel"]
             args["seq"] = meta["seq"]
@@ -106,12 +173,12 @@ class Link:
 
     def _trace_drop(
         self, obs, sim: "Simulator", sender: "Node", receiver: "Node",
-        data: bytes, cause: str, backlog: Optional[float] = None,
+        frame: Frame, cause: str, backlog: Optional[float] = None,
     ) -> None:
         """Emit the drop instant and, for an INT-carrying frame, the
         partial telemetry stack it was carrying when it died -- that is
         what lets the lineage index show *which attempt* a loss ate."""
-        args = self._trace_args(sender, receiver, data)
+        args = self._trace_args(sender, receiver, frame)
         args["cause"] = cause
         if backlog is not None:
             args["backlog_bytes"] = int(backlog)
@@ -119,9 +186,10 @@ class Link:
         obs.tracer.instant("drop", now, track=self.track, cat="link", args=args)
         from repro.obs.int import carries_int, peek_stack, stack_event_args
 
+        data = frame.data
         if carries_int(data):
             stack = peek_stack(data)
-            meta = peek_frame(data)
+            meta = frame.meta
             if stack is not None and meta is not None:
                 obs.tracer.instant(
                     "int:stack", now, track=self.track, cat="int",
@@ -131,6 +199,17 @@ class Link:
                     ),
                 )
 
+    def _drop_at_delivery(
+        self, sim: "Simulator", receiver: "Node", frame: Frame
+    ) -> None:
+        """An in-flight frame reached a downed node: cause ``down``."""
+        self.stats.drops_down += 1
+        obs = sim.obs
+        if obs.enabled:
+            self._trace_drop(
+                obs, sim, self.other(receiver), receiver, frame, "down"
+            )
+
     def set_down(self) -> None:
         """Fail the link: every subsequent frame drops with cause
         ``down`` until :meth:`set_up`."""
@@ -139,42 +218,61 @@ class Link:
     def set_up(self) -> None:
         self.up = True
 
-    def transmit(self, sim: "Simulator", sender: "Node", data: bytes) -> None:
-        """Send a frame from *sender* to the other end."""
+    def transmit(
+        self,
+        sim: "Simulator",
+        sender: "Node",
+        data: "bytes | Frame",
+        earliest: float = 0.0,
+    ) -> None:
+        """Send a frame from *sender* to the other end.
+
+        ``earliest`` optionally floors the serialization start time --
+        switches with inline forwarding fold their pipeline delay into
+        it instead of paying a scheduler event per transit packet.
+        """
         receiver = self.other(sender)
         obs = sim.obs
-        if not self.up:
+        frame = Frame.wrap(data)
+        if not self.up or not sender.up:
             self.stats.drops_down += 1
             if obs.enabled:
-                self._trace_drop(obs, sim, sender, receiver, data, "down")
+                self._trace_drop(obs, sim, sender, receiver, frame, "down")
             return
         if self.loss > 0 and self._rng.random() < self.loss:
             self.stats.drops_loss += 1
             if obs.enabled:
-                self._trace_drop(obs, sim, sender, receiver, data, "loss")
+                self._trace_drop(obs, sim, sender, receiver, frame, "loss")
             return
-        size_bits = len(data) * 8
-        serialization = size_bits / self.bandwidth
+        size = len(frame.data)
+        serialization = size * 8 / self.bandwidth
         now = sim.now()
-        start = max(now, self._free_at[sender])
+        start = max(now, earliest, self._free_at[sender])
         if self.queue_limit_bytes is not None:
             backlog_bytes = self.backlog_bytes(sender, now)
-            if backlog_bytes + len(data) > self.queue_limit_bytes:
+            if backlog_bytes + size > self.queue_limit_bytes:
                 self.stats.drops_overflow += 1
                 if obs.enabled:
                     self._trace_drop(
-                        obs, sim, sender, receiver, data, "overflow",
+                        obs, sim, sender, receiver, frame, "overflow",
                         backlog=backlog_bytes,
                     )
                 return
         done = start + serialization
         self._free_at[sender] = done
         self.stats.frames += 1
-        self.stats.bytes += len(data)
+        self.stats.bytes += size
         self.stats.busy_time += serialization
         arrival = done + self.latency
+        quantum = self.delivery_quantum
+        if quantum is not None:
+            # Interrupt coalescing: deliver on the next quantum boundary
+            # (bursts share one wake event). ceil keeps arrival >= the
+            # physical arrival time, and the rounding is monotone, so
+            # per-direction FIFO order is preserved.
+            arrival = math.ceil(arrival / quantum) * quantum
         if obs.enabled:
-            args = self._trace_args(sender, receiver, data)
+            args = self._trace_args(sender, receiver, frame)
             if start > now:
                 obs.tracer.span(
                     "queue", now, start - now, track=self.track, cat="link",
@@ -184,12 +282,7 @@ class Link:
                 "serialize", start, serialization, track=self.track, cat="link",
                 args=args,
             )
-        in_port = self.port_at[receiver]
-        sim.schedule_at(
-            arrival,
-            lambda: receiver.handle_frame(data, in_port),
-            label=receiver.prof_rx_label,
-        )
+        self._pipes[sender].push(sim, arrival, frame)
 
     def __repr__(self) -> str:
         return f"Link({self.a.name} <-> {self.b.name})"

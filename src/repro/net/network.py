@@ -10,7 +10,7 @@ from repro.errors import SimulationError
 from repro.andspec.mapping import PhysicalNet
 from repro.net.events import Simulator
 from repro.net.link import Link
-from repro.net.node import HostNode, Node, PythonSwitchNode
+from repro.net.node import ForwardingSwitchNode, HostNode, Node, PythonSwitchNode
 from repro.net.pisanode import PisaSwitchNode
 from repro.obs.context import Observability
 from repro.obs.netmetrics import collect_network_metrics
@@ -82,6 +82,15 @@ class Network:
         self._register(node)
         return node
 
+    def add_forwarding_switch(
+        self, name: str, node_id: Optional[int] = None
+    ) -> ForwardingSwitchNode:
+        """A plain (non-programmable) L3 forwarder -- the transit tier of
+        generated datacenter fabrics."""
+        node = ForwardingSwitchNode(name, self._claim_id(node_id), self.sim)
+        self._register(node)
+        return node
+
     def add_link(
         self,
         a: str,
@@ -91,12 +100,14 @@ class Network:
         loss: float = 0.0,
         seed: int = 0,
         queue_limit_bytes: Optional[int] = None,
+        delivery_quantum: Optional[float] = None,
     ) -> Link:
         if a not in self.nodes or b not in self.nodes:
             raise SimulationError(f"link endpoints must exist: {a!r}, {b!r}")
         link = Link(
             self.nodes[a], self.nodes[b], latency, bandwidth, loss, seed,
             queue_limit_bytes=queue_limit_bytes,
+            delivery_quantum=delivery_quantum,
         )
         self.links.append(link)
         return link
@@ -121,6 +132,19 @@ class Network:
             )
         return link
 
+    def fail_switch(self, name: str, at: Optional[float] = None) -> Node:
+        """Fail a node: it stops transmitting, and frames arriving at it
+        -- including frames already in flight on its links -- drop with
+        cause ``down``.  Immediate, or scheduled at virtual time ``at``."""
+        node = self.nodes.get(name)
+        if node is None:
+            raise SimulationError(f"no node named {name!r}")
+        if at is None:
+            node.set_down()
+        else:
+            self.sim.schedule_at(at, node.set_down, label=f"node;{name};fail")
+        return node
+
     # -- routing -------------------------------------------------------------------
 
     def graph(self) -> nx.Graph:
@@ -131,22 +155,57 @@ class Network:
             g.add_edge(link.a.name, link.b.name, link=link)
         return g
 
-    def compute_routes(self) -> None:
+    def compute_routes(self, ecmp: bool = False) -> None:
         """Install next-hop routes (and P4 route entries on PISA switches)
-        for every node pair, via shortest paths."""
+        for every node pair, via shortest paths.
+
+        With ``ecmp=True``, every equal-cost next hop is considered and
+        one is picked per (src, dst) pair by a deterministic hash -- the
+        flow-level spreading a fat-tree needs so its core links all carry
+        traffic.  The choice depends only on the node-id pair, so routes
+        are identical across runs and schedulers.
+        """
         g = self.graph()
+        if not ecmp:
+            for src_name, src in self.nodes.items():
+                paths = nx.single_source_shortest_path(g, src_name)
+                for dst_name, path in paths.items():
+                    if dst_name == src_name or len(path) < 2:
+                        continue
+                    dst = self.nodes[dst_name]
+                    next_hop = self.nodes[path[1]]
+                    port = self._port_toward(src, next_hop)
+                    self._install(src, dst, port)
+            return
+        dist = dict(nx.all_pairs_shortest_path_length(g))
         for src_name, src in self.nodes.items():
-            paths = nx.single_source_shortest_path(g, src_name)
-            for dst_name, path in paths.items():
-                if dst_name == src_name or len(path) < 2:
+            dist_from_src = dist[src_name]
+            neighbors = sorted(g.neighbors(src_name))
+            for dst_name, dst in self.nodes.items():
+                if dst_name == src_name:
                     continue
-                dst = self.nodes[dst_name]
-                next_hop = self.nodes[path[1]]
-                port = self._port_toward(src, next_hop)
-                if isinstance(src, PisaSwitchNode):
-                    src.install_route(dst.node_id, port)
-                else:
-                    src.routes[dst.node_id] = port
+                d = dist_from_src.get(dst_name)
+                if d is None:
+                    continue
+                # Every neighbor one step closer to dst is an equal-cost
+                # next hop; hash the (src, dst) id pair over them.
+                next_hops = [
+                    n for n in neighbors if dist[n].get(dst_name) == d - 1
+                ]
+                if not next_hops:
+                    continue
+                pick = next_hops[
+                    (src.node_id * 2654435761 + dst.node_id * 40503)
+                    % len(next_hops)
+                ]
+                port = self._port_toward(src, self.nodes[pick])
+                self._install(src, dst, port)
+
+    def _install(self, src: Node, dst: Node, port: int) -> None:
+        if isinstance(src, PisaSwitchNode):
+            src.install_route(dst.node_id, port)
+        else:
+            src.routes[dst.node_id] = port
 
     def _port_toward(self, node: Node, neighbor: Node) -> int:
         for port, link in enumerate(node.links):
@@ -175,7 +234,11 @@ class Network:
             if isinstance(node, HostNode):
                 phys.add_host(node.name)
             else:
-                phys.add_switch(node.name)
+                # Plain forwarders can't host kernels; everything else
+                # (PISA and Python switches) is a placement target.
+                phys.add_switch(
+                    node.name, pisa=not isinstance(node, ForwardingSwitchNode)
+                )
         for link in self.links:
             phys.add_link(link.a.name, link.b.name)
         return phys

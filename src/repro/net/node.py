@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Union, TYPE_CHECKING
 
 from repro.errors import SimulationError
+from repro.net.frame import Frame
 
 if TYPE_CHECKING:
     from repro.net.events import Simulator
@@ -37,6 +38,9 @@ class Node:
         #: next-hop port by destination node id (installed at deploy time)
         self.routes: Dict[int, int] = {}
         self.stats = NodeStats()
+        #: administrative state; frames transmitted by or delivered to a
+        #: downed node drop with cause ``down`` (see Network.fail_switch)
+        self.up = True
         #: schedule label for frame arrivals at this node -- the count of
         #: these events is the profiler's packets/sec numerator
         self.prof_rx_label = f"{self.PROF_KIND};{name};rx"
@@ -45,14 +49,24 @@ class Node:
         self.links.append(link)
         return len(self.links) - 1
 
-    def send(self, data: bytes, port: int) -> None:
+    def set_down(self) -> None:
+        """Fail the node: it stops transmitting, and frames arriving at
+        it (including ones already in flight) drop with cause ``down``."""
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+
+    def send(
+        self, data: Union[bytes, Frame], port: int, earliest: float = 0.0
+    ) -> None:
         if not 0 <= port < len(self.links):
             raise SimulationError(f"{self.name}: no port {port}")
         self.stats.tx_frames += 1
         self.stats.tx_bytes += len(data)
-        self.links[port].transmit(self.sim, self, data)
+        self.links[port].transmit(self.sim, self, data, earliest=earliest)
 
-    def send_toward(self, data: bytes, dst_node_id: int) -> None:
+    def send_toward(self, data: Union[bytes, Frame], dst_node_id: int) -> None:
         port = self.routes.get(dst_node_id)
         if port is None:
             raise SimulationError(
@@ -60,7 +74,7 @@ class Node:
             )
         self.send(data, port)
 
-    def handle_frame(self, data: bytes, in_port: int) -> None:
+    def handle_frame(self, frame: Union[bytes, Frame], in_port: int) -> None:
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -70,9 +84,10 @@ class Node:
 class HostNode(Node):
     """An end host: delivers frames to a bound receiver callback.
 
-    The libncrt host runtime binds :attr:`receiver`; frames arriving
-    before a receiver is bound are counted as drops (like an unbound
-    UDP port).
+    The libncrt host runtime binds :attr:`frame_receiver` (Frame in,
+    keeping the cached header parse); plain callers bind
+    :attr:`receiver` (bytes in). Frames arriving before either is bound
+    are counted as drops (like an unbound UDP port).
     """
 
     PROF_KIND = "host"
@@ -83,37 +98,47 @@ class HostNode(Node):
     def __init__(self, name: str, node_id: int, sim: "Simulator"):
         super().__init__(name, node_id, sim)
         self.receiver: Optional[Callable[[bytes], None]] = None
+        #: preferred receiver: gets the Frame object itself, so the
+        #: header parse cached along the packet path is reused
+        self.frame_receiver: Optional[Callable[[Frame], None]] = None
         self._prof_deliver = f"host;{name};deliver"
 
-    def handle_frame(self, data: bytes, in_port: int) -> None:
+    def handle_frame(self, frame: Union[bytes, Frame], in_port: int) -> None:
+        frame = Frame.wrap(frame)
         self.stats.rx_frames += 1
-        self.stats.rx_bytes += len(data)
+        self.stats.rx_bytes += len(frame)
         obs = self.sim.obs
-        if self.receiver is None:
+        frame_receiver = self.frame_receiver
+        receiver = self.receiver
+        if frame_receiver is None and receiver is None:
             self.stats.drops += 1
             if obs.enabled:
                 obs.tracer.instant(
                     "drop", self.sim.now(), track=f"host {self.name}", cat="host",
-                    args={"cause": "no-receiver", "bytes": len(data)},
+                    args={"cause": "no-receiver", "bytes": len(frame)},
                 )
             return
         if obs.enabled:
-            from repro.ncp.wire import peek_frame
-
-            args = {"bytes": len(data)}
-            meta = peek_frame(data)
+            args = {"bytes": len(frame)}
+            meta = frame.meta
             if meta is not None:
                 args.update(kernel=meta["kernel"], seq=meta["seq"], **{"from": meta["from"]})
             obs.tracer.span(
                 "deliver", self.sim.now(), self.PROCESS_DELAY,
                 track=f"host {self.name}", cat="host", args=args,
             )
-        receiver = self.receiver
-        self.sim.schedule(
-            self.PROCESS_DELAY, lambda: receiver(data), label=self._prof_deliver
-        )
+        if frame_receiver is not None:
+            self.sim.schedule(
+                self.PROCESS_DELAY, lambda: frame_receiver(frame),
+                label=self._prof_deliver,
+            )
+        else:
+            data = frame.data
+            self.sim.schedule(
+                self.PROCESS_DELAY, lambda: receiver(data), label=self._prof_deliver
+            )
 
-    def transmit(self, data: bytes, dst_node_id: int) -> None:
+    def transmit(self, data: Union[bytes, Frame], dst_node_id: int) -> None:
         """Send a frame toward a destination (single-homed hosts just use
         their uplink)."""
         self.stats.processed += 1
@@ -151,10 +176,12 @@ class PythonSwitchNode(Node):
         self.program = program
         self._prof_program = f"switch;{name};program"
 
-    def handle_frame(self, data: bytes, in_port: int) -> None:
+    def handle_frame(self, frame: Union[bytes, Frame], in_port: int) -> None:
+        frame = Frame.wrap(frame)
         self.stats.rx_frames += 1
-        self.stats.rx_bytes += len(data)
+        self.stats.rx_bytes += len(frame)
         self.stats.processed += 1
+        data = frame.data
 
         def run() -> None:
             outputs = self.program(data, in_port, self)
@@ -167,3 +194,47 @@ class PythonSwitchNode(Node):
                     self.send(out_data, out_port)
 
         self.sim.schedule(self.PIPELINE_DELAY, run, label=self._prof_program)
+
+
+class ForwardingSwitchNode(Node):
+    """A plain L3 forwarder: routes on the frame's destination node id.
+
+    This is the transit tier of generated fabrics (aggregation/core in a
+    fat-tree, spines in a leaf-spine): no P4 pipeline, no per-packet
+    Python program -- just a route-table lookup on the cached header
+    parse and a transmit.  Forwarding is *inline*: instead of scheduling
+    a pipeline event per packet, the fixed :attr:`PIPELINE_DELAY` is
+    folded into the egress link's serialization start time (the
+    ``earliest`` floor), which removes one scheduler event per hop on
+    the fabric fast path while keeping per-packet timing identical.
+    """
+
+    PROF_KIND = "switch"
+
+    PIPELINE_DELAY = 1e-6
+
+    def __init__(self, name: str, node_id: int, sim: "Simulator"):
+        super().__init__(name, node_id, sim)
+        self._prof_drop = f"switch {name}"
+
+    def handle_frame(self, frame: Union[bytes, Frame], in_port: int) -> None:
+        frame = Frame.wrap(frame)
+        stats = self.stats
+        stats.rx_frames += 1
+        stats.rx_bytes += len(frame.data)
+        stats.processed += 1
+        meta = frame.meta
+        port = None if meta is None else self.routes.get(meta["dst"])
+        if port is None:
+            stats.drops += 1
+            obs = self.sim.obs
+            if obs.enabled:
+                args = {"cause": "route-miss", "bytes": len(frame.data)}
+                if meta is not None:
+                    args["dst"] = meta["dst"]
+                obs.tracer.instant(
+                    "drop", self.sim.now(), track=self._prof_drop,
+                    cat="switch", args=args,
+                )
+            return
+        self.send(frame, port, earliest=self.sim.now() + self.PIPELINE_DELAY)

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Union, TYPE_CHECKING
 
 from repro.errors import SimulationError
+from repro.net.frame import Frame
 from repro.net.node import Node
 from repro.pisa.switch_dev import PisaSwitch
 
@@ -43,7 +44,9 @@ class PisaSwitchNode(Node):
                 "ipv4_route", [node_ip(dst_node_id)], "ipv4_forward", [port]
             )
 
-    def handle_frame(self, data: bytes, in_port: int) -> None:
+    def handle_frame(self, frame: Union[bytes, Frame], in_port: int) -> None:
+        frame = Frame.wrap(frame)
+        data = frame.data
         self.stats.rx_frames += 1
         self.stats.rx_bytes += len(data)
 
@@ -51,12 +54,11 @@ class PisaSwitchNode(Node):
             self.stats.processed += 1
             obs = self.sim.obs
             if obs.enabled:
-                from repro.ncp.wire import peek_frame
                 from repro.obs.netmetrics import SwitchPacketTrace
 
                 observer = SwitchPacketTrace()
                 result = self.switch.process(data, in_port, observer=observer)
-                meta = peek_frame(data)
+                meta = frame.meta
                 frame_args = {"in_port": in_port}
                 if meta is not None:
                     frame_args.update(

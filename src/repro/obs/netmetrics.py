@@ -57,6 +57,9 @@ def collect_network_metrics(net: "Network", registry: MetricsRegistry) -> None:
     n_tx_b = registry.gauge("node.tx_bytes", "bytes sent", ("node",))
     n_drops = registry.gauge("node.drops", "frames dropped at the node", ("node",))
     n_proc = registry.gauge("node.processed", "frames processed", ("node",))
+    n_up = registry.gauge(
+        "node.up", "administrative state (1 up / 0 down)", ("node",)
+    )
     sw_pkts = registry.gauge("switch.packets", "packets through the pipeline", ("switch",))
     sw_hits = registry.gauge("switch.table_hits", "table hits", ("switch", "table"))
     sw_miss = registry.gauge("switch.table_misses", "table misses", ("switch", "table"))
@@ -71,6 +74,7 @@ def collect_network_metrics(net: "Network", registry: MetricsRegistry) -> None:
         n_tx_b.labels(node=node.name).set(node.stats.tx_bytes)
         n_drops.labels(node=node.name).set(node.stats.drops)
         n_proc.labels(node=node.name).set(node.stats.processed)
+        n_up.labels(node=node.name).set(1 if node.up else 0)
         switch = getattr(node, "switch", None)
         pipeline = getattr(switch, "pipeline", None)
         if pipeline is None:

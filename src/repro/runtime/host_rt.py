@@ -84,6 +84,10 @@ class NclHost:
         #: retransmission attempt counters by (kernel, seq)
         self._retx_attempts: Dict[tuple, int] = {}
         node.receiver = self._on_frame
+        # Preferred delivery path: the Frame object carries the header
+        # parse cached along the packet path, so delivery re-parses
+        # nothing the network already looked at.
+        node.frame_receiver = self._on_frame_obj
 
     # -- observability ----------------------------------------------------------
 
@@ -338,13 +342,19 @@ class NclHost:
             raise RuntimeApiError(f"{out_kernel!r} is not a compiled kernel")
         self._raw_handlers[out_kernel] = handler
 
-    def _on_frame(self, data: bytes) -> None:
+    def _on_frame_obj(self, frame) -> None:
+        """Frame-object delivery (bound to ``node.frame_receiver``):
+        reuses the header metadata cached while the packet crossed the
+        fabric instead of re-peeking the bytes."""
+        self._on_frame(frame.data, _meta=frame.meta)
+
+    def _on_frame(self, data: bytes, _meta=None) -> None:
         from repro.ncp.fragment import is_fragment
         from repro.obs.int import carries_int
 
         obs = self._obs
         if carries_int(data):
-            data = self._strip_int(obs, data)
+            data = self._strip_int(obs, data, meta=_meta)
         if is_fragment(data):
             try:
                 complete = self._reassembler.feed(data)
@@ -400,7 +410,7 @@ class NclHost:
             return
         self.inbox.setdefault(kernel_name, []).append(window)
 
-    def _strip_int(self, obs, data: bytes) -> bytes:
+    def _strip_int(self, obs, data: bytes, meta=None) -> bytes:
         """Strip the INT trailer at delivery: emit the per-hop stack as
         an ``int:stack`` trace event (the lineage index's raw material)
         and fold it into the registry."""
@@ -416,7 +426,10 @@ class NclHost:
         bare, stack = strip_stack(data)
         if stack is None or not obs.enabled:
             return bare
-        meta = peek_frame(bare)
+        # The INT trailer sits after the payload, so the header peek of
+        # the bare frame equals the one cached on the in-flight Frame.
+        if meta is None:
+            meta = peek_frame(bare)
         if meta is None:
             return bare
         frag = None

@@ -1,0 +1,278 @@
+"""The event core: timing-wheel vs reference-heap scheduler semantics.
+
+The wheel must be *observably identical* to the heap -- same dispatch
+order (including (when, seq) tie-breaks), same ``run(until)`` stopping
+behavior, same cancellation semantics -- only faster.  These tests drive
+both schedulers through the same programs and compare.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.events import (
+    SCHEDULERS, Simulator, default_scheduler,
+)
+
+
+def record_run(scheduler: str, program) -> list:
+    """Run *program* (sim, log) under *scheduler*, return the log."""
+    sim = Simulator(scheduler=scheduler)
+    log = []
+    program(sim, log)
+    return log
+
+
+class TestDifferentialOrder:
+    """Same schedule sequence => byte-identical dispatch order."""
+
+    def _compare(self, program):
+        runs = [record_run(s, program) for s in SCHEDULERS]
+        assert runs[0] == runs[1]
+        assert runs[0], "program dispatched nothing"
+
+    def test_random_delays_identical_order(self):
+        def program(sim, log):
+            rng = random.Random(11)
+            for i in range(2000):
+                delay = rng.random() * 1e-3
+                sim.schedule(delay, lambda i=i: log.append((sim.now(), i)))
+            sim.run()
+
+        self._compare(program)
+
+    def test_equal_times_tie_break_by_seq(self):
+        def program(sim, log):
+            # Many events at exactly the same instant: dispatch must be
+            # schedule order (the seq tie-break).
+            for round_at in (0.0, 1e-6, 5e-5, 1.0):
+                for i in range(50):
+                    sim.schedule_at(
+                        round_at, lambda i=i: log.append((sim.now(), i))
+                    )
+            sim.run()
+
+        self._compare(program)
+
+    def test_reschedule_from_callbacks(self):
+        def program(sim, log):
+            rng = random.Random(3)
+
+            def make(tag):
+                def fire():
+                    log.append((sim.now(), tag))
+                    if tag < 3000:
+                        sim.schedule((tag % 17) * 1e-7 + 1e-9, make(tag + 500))
+                return fire
+
+            for i in range(500):
+                sim.schedule(rng.random() * 2e-5, make(i))
+            sim.run()
+
+        self._compare(program)
+
+    def test_far_future_overflow_events(self):
+        def program(sim, log):
+            # Mix near events with ones far past the wheel horizon
+            # (default horizon is ~8.4ms; these reach seconds out).
+            rng = random.Random(5)
+            for i in range(800):
+                delay = 10.0 ** rng.uniform(-7, 1)
+                sim.schedule(delay, lambda i=i: log.append((round(sim.now(), 12), i)))
+            sim.run()
+
+        self._compare(program)
+
+    def test_run_until_stop_and_resume(self):
+        def program(sim, log):
+            rng = random.Random(9)
+            for i in range(500):
+                sim.schedule(rng.random() * 1e-2, lambda i=i: log.append((sim.now(), i)))
+            # stop mid-stream several times; schedule *earlier* events
+            # between segments (they land before the wheel's current slot)
+            for until in (1e-3, 2.5e-3, 7e-3):
+                sim.run(until=until)
+                log.append(("stopped", sim.now()))
+                for j in range(20):
+                    sim.schedule(
+                        rng.random() * 1e-4,
+                        lambda j=j: log.append((sim.now(), "late", j)),
+                    )
+            sim.run()
+
+        self._compare(program)
+
+    def test_cancellations_identical(self):
+        def program(sim, log):
+            rng = random.Random(13)
+            timers = []
+            for i in range(1000):
+                timers.append(
+                    sim.schedule_cancellable(
+                        rng.random() * 1e-3,
+                        lambda i=i: log.append((sim.now(), i)),
+                    )
+                )
+            for i in range(0, 1000, 3):
+                timers[i].cancel()
+            sim.run()
+
+        self._compare(program)
+
+
+class TestRunSemantics:
+    @pytest.fixture(params=SCHEDULERS)
+    def sim(self, request):
+        return Simulator(scheduler=request.param)
+
+    def test_run_until_sets_now_even_when_idle(self, sim):
+        sim.run(until=0.5)
+        assert sim.now() == 0.5
+
+    def test_run_until_does_not_consume_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.run(until=0.5)
+        assert fired == [] and sim.now() == 0.5
+        sim.run()
+        assert fired == [1] and sim.now() == 1.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError, match="in the past"):
+            sim.schedule(-1e-9, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(1e-6, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="cannot schedule at"):
+            sim.schedule_at(0.0, lambda: None)
+
+    def test_max_events_livelock_guard(self, sim):
+        def again():
+            sim.schedule(1e-9, again)
+
+        sim.schedule(1e-9, again)
+        with pytest.raises(SimulationError, match="livelock"):
+            sim.run(max_events=1000)
+
+    def test_step_dispatches_one_event(self, sim):
+        fired = []
+        sim.schedule(1e-6, lambda: fired.append("a"))
+        sim.schedule(2e-6, lambda: fired.append("b"))
+        assert sim.step() is True
+        assert fired == ["a"]
+        assert sim.step() is True
+        assert fired == ["a", "b"]
+        assert sim.step() is False
+
+    def test_events_processed_counts(self, sim):
+        for _ in range(7):
+            sim.schedule(1e-6, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+
+class TestCancellation:
+    @pytest.fixture(params=SCHEDULERS)
+    def sim(self, request):
+        return Simulator(scheduler=request.param)
+
+    def test_cancelled_event_never_fires(self, sim):
+        fired = []
+        timer = sim.schedule_cancellable(1e-6, lambda: fired.append(1))
+        assert timer.active
+        timer.cancel()
+        assert not timer.active
+        sim.run()
+        assert fired == []
+        assert sim.events_processed == 0
+
+    def test_run_until_idle_skips_cancelled(self, sim):
+        """Regression: run_until_idle used to pop records unconditionally,
+        firing lazily-cancelled callbacks."""
+        fired = []
+        timer = sim.schedule_cancellable(1e-6, lambda: fired.append("dead"))
+        sim.schedule(2e-6, lambda: fired.append("live"))
+        timer.cancel()
+        sim.run_until_idle()
+        assert fired == ["live"]
+
+    def test_step_skips_cancelled(self, sim):
+        fired = []
+        timer = sim.schedule_cancellable(1e-6, lambda: fired.append("dead"))
+        sim.schedule(2e-6, lambda: fired.append("live"))
+        timer.cancel()
+        assert sim.step() is True
+        assert fired == ["live"]
+        assert sim.step() is False
+
+    def test_cancel_is_idempotent(self, sim):
+        timer = sim.schedule_cancellable(1e-6, lambda: None)
+        timer.cancel()
+        timer.cancel()  # no error, no double counting
+        assert sim.pending == 0
+
+    def test_pending_tracks_cancellations(self, sim):
+        timers = [
+            sim.schedule_cancellable(1e-6 * (i + 1), lambda: None)
+            for i in range(10)
+        ]
+        assert sim.pending == 10
+        for t in timers[:4]:
+            t.cancel()
+        assert sim.pending == 6
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == 6
+
+    def test_stale_timer_after_record_reuse(self, sim):
+        """A Timer held past its event's dispatch must stay dead even
+        after the slab recycles the record for a new event."""
+        timer = sim.schedule_cancellable(1e-6, lambda: None)
+        sim.run()
+        assert not timer.active
+        fired = []
+        sim.schedule(1e-6, lambda: fired.append(1))  # likely reuses the record
+        timer.cancel()  # must be a no-op on the recycled record
+        sim.run()
+        assert fired == [1]
+
+
+class TestConfiguration:
+    def test_scheduler_selection_validates(self):
+        with pytest.raises(SimulationError, match="unknown scheduler"):
+            Simulator(scheduler="quantum")
+
+    def test_wheel_parameters_validate(self):
+        with pytest.raises(SimulationError):
+            Simulator(slot_width=0.0)
+        with pytest.raises(SimulationError):
+            Simulator(wheel_slots=1000)  # not a power of two
+
+    def test_default_scheduler_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHED", raising=False)
+        assert default_scheduler() == "wheel"
+        monkeypatch.setenv("REPRO_SCHED", "heap")
+        assert default_scheduler() == "heap"
+        assert Simulator().scheduler == "heap"
+        monkeypatch.setenv("REPRO_SCHED", "bogus")
+        with pytest.raises(SimulationError):
+            default_scheduler()
+
+    def test_tiny_wheel_still_correct(self):
+        """A 2-slot wheel forces constant horizon rotation + overflow
+        pulls; order must still match the heap."""
+        def program(sim, log):
+            rng = random.Random(21)
+            for i in range(400):
+                sim.schedule(
+                    rng.random() * 1e-2, lambda i=i: log.append((sim.now(), i))
+                )
+            sim.run()
+
+        heap_log = record_run("heap", program)
+        sim = Simulator(scheduler="wheel", wheel_slots=2)
+        wheel_log = []
+        program(sim, wheel_log)
+        assert wheel_log == heap_log
