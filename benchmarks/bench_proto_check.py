@@ -1,0 +1,142 @@
+"""Transport-safety verifier scaling: every shipped program, one pass.
+
+``tests/test_proto.py`` exercises the checks; this bench exercises
+their *cost*: one full ``check-proto`` pass -- compile, effect
+summaries, exhaustive window model, report rendering -- over every
+shipped example program (the four standalone ones plus the three
+multi-tenant deploy programs with their production defines and window
+geometries). The sweep is clean by construction -- the bench measures
+how long proving that takes, and ``check_budget.py`` gates the wall
+time with a ceiling budget (``proto_check.wall_s``) plus the
+deterministic diagnostic count (``proto_check.diagnostics``, exactly
+zero).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis.proto import ProtoContext, render_report_json, run_checks
+from repro.nclc.driver import Compiler, WindowConfig
+
+from benchmarks._util import print_table, record_once
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+DEPLOY = EXAMPLES / "deploy"
+
+#: (source path, defines, {kernel: WindowConfig}, and-spec path) -- the
+#: deploy programs use the same configurations multi_tenant.deploy maps
+#: onto the fabric.
+_PROGRAMS = [
+    (EXAMPLES / "parity.ncl", None, None, None),
+    (EXAMPLES / "stats.ncl", None, None, None),
+    (EXAMPLES / "fig4_allreduce.ncl", None, None, None),
+    (EXAMPLES / "fig5_kvs.ncl", None, None, None),
+    (
+        DEPLOY / "allreduce.ncl",
+        {"DATA_LEN": 64, "WIN_LEN": 8},
+        {"allreduce": WindowConfig(mask=(8,), ext={"len": 8})},
+        DEPLOY / "allreduce.and",
+    ),
+    (
+        DEPLOY / "kvs.ncl",
+        {"CACHE_SIZE": 64, "VAL_WORDS": 4, "SERVER": 1},
+        {"query": WindowConfig(mask=(1, 4, 1), ext={})},
+        DEPLOY / "kvs.and",
+    ),
+    (
+        DEPLOY / "dedup.ncl",
+        {"FILTER_BITS": 1024},
+        {"dedup": WindowConfig(mask=(1, 4), ext={})},
+        DEPLOY / "dedup.and",
+    ),
+]
+
+
+def run_proto_check():
+    """One full ``check-proto`` pass over every shipped program.
+
+    Returns ``(contexts, timings)`` where *timings* is a dict of wall
+    seconds per stage across the whole sweep.
+    """
+    compiled = []
+    t0 = time.perf_counter()
+    for path, defines, windows, and_path in _PROGRAMS:
+        and_text = and_path.read_text() if and_path is not None else None
+        compiled.append(Compiler(opt_level=2).compile(
+            path.read_text(),
+            and_text=and_text,
+            windows=windows,
+            defines=defines,
+            filename=str(path),
+        ))
+    t1 = time.perf_counter()
+    contexts = []
+    for program in compiled:
+        ctx = ProtoContext(program)
+        run_checks(ctx)
+        contexts.append(ctx)
+    t2 = time.perf_counter()
+    for ctx in contexts:
+        render_report_json(ctx)
+    t3 = time.perf_counter()
+    timings = {
+        "compile": t1 - t0,
+        "effects+model": t2 - t1,
+        "report": t3 - t2,
+        "total": t3 - t0,
+    }
+    return contexts, timings
+
+
+def measure_proto_check() -> dict:
+    """The ``check_budget.py`` hook: wall time (ceiling-gated) plus the
+    deterministic diagnostic count for the clean shipped programs."""
+    contexts, timings = run_proto_check()
+    return {
+        "proto_check.wall_s": round(timings["total"], 4),
+        "proto_check.diagnostics": sum(len(ctx.sink) for ctx in contexts),
+    }
+
+
+def test_proto_check_shipped_programs(benchmark):
+    contexts, timings = record_once(benchmark, run_proto_check)
+    rows = [[stage, f"{seconds * 1e3:.2f}"]
+            for stage, seconds in timings.items()]
+    print_table(
+        f"check-proto sweep ({len(_PROGRAMS)} shipped programs)",
+        ["stage", "ms"], rows,
+    )
+    for (path, _d, _w, _a), ctx in zip(_PROGRAMS, contexts):
+        assert not ctx.sink.has_errors, path
+        assert len(ctx.sink) == 0, (path, [d.message for d in ctx.sink])
+        for result in ctx.model_results().values():
+            assert result.counterexample is None, path
+
+
+def test_proto_recheck_is_cheap(benchmark):
+    """Compiling dominates; re-running the checks on already-compiled
+    programs is the steady-state verification path the fixture times."""
+    compiled = []
+    for path, defines, windows, and_path in _PROGRAMS:
+        and_text = and_path.read_text() if and_path is not None else None
+        compiled.append(Compiler(opt_level=2).compile(
+            path.read_text(),
+            and_text=and_text,
+            windows=windows,
+            defines=defines,
+            filename=str(path),
+        ))
+
+    def recheck():
+        out = []
+        for program in compiled:
+            ctx = ProtoContext(program)
+            run_checks(ctx)
+            out.append(ctx)
+        return out
+
+    contexts = benchmark(recheck)
+    assert all(not ctx.sink.has_errors for ctx in contexts)

@@ -89,6 +89,7 @@ CEILING_METRICS = {
     "fig4_allreduce_obs.peak_resident_events": 1.5,
     "fig4_allreduce_obs.bytes_written": 1.5,
     "deploy_check.wall_s": 6.0,
+    "proto_check.wall_s": 6.0,
 }
 
 
@@ -179,6 +180,11 @@ def measure() -> tuple:
     from benchmarks.bench_deploy_check import measure_deploy_check
 
     out.update(measure_deploy_check())
+
+    # -- transport-safety sweep: every shipped program proved replay-safe -
+    from benchmarks.bench_proto_check import measure_proto_check
+
+    out.update(measure_proto_check())
 
     # -- datacenter-scale smoke: scheduler churn + k=8 fat-tree push ------
     # (>=100k packets; the full >=1M-packet run is

@@ -17,7 +17,13 @@ but operating on a :class:`~repro.analysis.deploy.model.Deployment`
   unfragmented (switches do not execute kernels on fragments), and the
   headroom left for INT telemetry -- the latter graded
   ``proved``/``possible`` by interval reasoning over the hop count,
-  like the absint-graded lint rules.
+  like the absint-graded lint rules;
+* **replay-safety** (NCL0856): every tenant kernel is run through the
+  effect-summary analysis plus the NCP window model checker of
+  :mod:`repro.analysis.proto`; a tenant whose kernel double-applies a
+  shared-state update under retransmission is flagged with its minimal
+  counterexample schedule, and every tenant's per-kernel verdict rides
+  in the ``repro.deploy/1`` report (``replay_safety``).
 
 Every check emits stable ``NCL09xx`` codes registered in
 :mod:`repro.diag.codes`; :func:`run_checks` finishes with
@@ -32,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Type
 import networkx as nx
 
 from repro.analysis.deploy.model import Deployment, TenantDeployment
+from repro.analysis.proto import ModelResult, check_kernel_model
 from repro.analysis.rules import _SPACE_WORD, _callees, _instr_accesses
 from repro.andspec.fabric import FabricSpec
 from repro.diag import DiagnosticSink, Span
@@ -84,6 +91,7 @@ class DeployContext:
         self._edge_paths: Dict[
             str, Dict[Tuple[str, str], Optional[_EdgePath]]
         ] = {}
+        self._replay: Dict[str, Dict[Tuple[str, str], "ModelResult"]] = {}
 
     # -- fabric views --------------------------------------------------
 
@@ -158,6 +166,24 @@ class DeployContext:
         if tenant.name not in self._edge_paths:
             self._edge_paths[tenant.name] = self._route_tenant(tenant)
         return self._edge_paths[tenant.name]
+
+    def replay_results(
+        self, tenant: TenantDeployment
+    ) -> Dict[Tuple[str, str], ModelResult]:
+        """Per-kernel transport-safety model-checker results for one
+        tenant: ``(overlay_label, kernel) -> ModelResult`` (cached; the
+        same machinery ``nclc check-proto`` runs on a single program)."""
+        if tenant.name not in self._replay:
+            results: Dict[Tuple[str, str], ModelResult] = {}
+            for label, kernels in sorted(
+                tenant.program.effect_summaries().items()
+            ):
+                for name in sorted(kernels):
+                    results[(label, name)] = check_kernel_model(
+                        kernels[name], label
+                    )
+            self._replay[tenant.name] = results
+        return self._replay[tenant.name]
 
     def _route_tenant(
         self, tenant: TenantDeployment
@@ -866,3 +892,77 @@ class TransportCheck(DeployCheck):
                     rule=self.name,
                     status="proved" if proved else "possible",
                 )
+
+
+# ---------------------------------------------------------------------------
+# replay safety: NCL0856
+# ---------------------------------------------------------------------------
+
+
+@register
+class ReplaySafetyCheck(DeployCheck):
+    """Per-tenant transport safety under NCP retransmission.
+
+    Every tenant kernel runs through the effect-summary analysis and
+    the explicit-state window model checker (the ``check-proto``
+    machinery). A kernel for which the checker finds a schedule that
+    applies a non-idempotent shared-state update twice -- the classic
+    retransmit double-count -- is flagged here with the minimal
+    counterexample in the notes, because on a shared fabric a tenant's
+    replay bug corrupts *its own* state on a switch other tenants
+    depend on being well-behaved.
+
+    Kernels the checker proves safe emit nothing; their per-kernel
+    verdicts (``exactly-once`` / ``at-most-once``) still appear in the
+    ``repro.deploy/1`` report under each tenant's ``replay_safety``.
+    """
+
+    name = "replay-safety"
+    codes = ("NCL0856",)
+    about = "tenant kernels survive NCP retransmission (check-proto)"
+
+    def run(self, ctx: DeployContext) -> None:
+        for tenant in ctx.deployment.tenants:
+            placement = ctx.valid_switch_placement(tenant)
+            for (label, kernel), result in sorted(
+                ctx.replay_results(tenant).items()
+            ):
+                cx = result.counterexample
+                if cx is None:
+                    continue
+                steps = ", ".join(
+                    _describe_replay_step(s) for s in cx.schedule
+                )
+                target = placement.get(label)
+                where = (
+                    f"switch '{target}'" if target is not None
+                    else f"label '{label}'"
+                )
+                ctx.sink.warning(
+                    "NCL0856",
+                    f"tenant '{tenant.name}' kernel '{kernel}' is not "
+                    f"replay-safe on {where}: a window interleaving "
+                    f"applies the update of '{cx.symbol}' "
+                    f"{cx.applied}x",
+                    loc=tenant.window_locs.get(kernel) or tenant.anchor(),
+                    notes=[
+                        f"minimal counterexample ({len(cx.schedule)} "
+                        f"steps): {steps}",
+                        "verify the program alone with: python -m "
+                        "repro.nclc check-proto <program.ncl>",
+                    ],
+                    fixit=(
+                        "guard the update on a per-window dedup mark, "
+                        "e.g. `if (seen[window.seq & 63] == 0) { "
+                        "seen[window.seq & 63] = 1; ... }`"
+                    ),
+                    rule=self.name,
+                    status="proved",
+                )
+
+
+def _describe_replay_step(step: Dict[str, object]) -> str:
+    action = step.get("action")
+    if action == "restart":
+        return f"restart({step.get('switch')})"
+    return f"{action}(a{step.get('attempt')})"

@@ -83,6 +83,12 @@ def build_report(ctx: DeployContext) -> Dict[str, object]:
                 },
                 "placement": dict(sorted(tenant.placement.items())),
                 "hosts": dict(sorted(assignment.items())),
+                "replay_safety": {
+                    f"{kernel}@{label}": result.verdict
+                    for (label, kernel), result in sorted(
+                        ctx.replay_results(tenant).items()
+                    )
+                },
             }
         )
     return {
@@ -150,6 +156,15 @@ def render_report_text(ctx: DeployContext) -> str:
                 f"{row['phv_bits']} phv bits, {row['sram_bytes']} sram "
                 f"bytes, {row['tables']} tables, {row['actions']} actions"
             )
+    out.append("")
+    for tenant in deployment.tenants:
+        verdicts = ", ".join(
+            f"{kernel}@{label} {result.verdict}"
+            for (label, kernel), result in sorted(
+                ctx.replay_results(tenant).items()
+            )
+        )
+        out.append(f"  replay safety {tenant.name}: {verdicts or 'n/a'}")
     diags = sink.sorted()
     if diags:
         out.append("")

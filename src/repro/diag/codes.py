@@ -8,9 +8,10 @@ them. This module is the single source of truth for the assignment:
 * the frontend / conformance / pass-manager codes are listed statically
   here;
 * the ``nclc lint`` analysis rules contribute their declared ``codes``;
-* the ``check-deploy`` whole-fabric checks contribute theirs.
+* the ``check-deploy`` whole-fabric checks contribute theirs;
+* the ``check-proto`` transport-safety checks contribute theirs.
 
-:func:`all_codes` folds the three sources together and *raises* on any
+:func:`all_codes` folds the four sources together and *raises* on any
 collision, and a registry-uniqueness unit test runs it in CI, so a new
 rule or check that grabs an already-assigned code fails loudly instead
 of silently aliasing an existing meaning.
@@ -26,6 +27,7 @@ block  owner
 06xx   conformance + PISA resource estimates (lint)
 07xx   dataflow / control-flow lint rules
 08xx   value-flow (absint-graded) lint rules
+0850+  transport-safety effect/protocol checks (check-proto)
 0901+  usage lint rules (unused kernel / window field)
 0910+  deployment: per-switch resource admission
 0920+  deployment: tenant isolation
@@ -104,6 +106,17 @@ def all_codes() -> Dict[str, Tuple[str, str]]:
         for code in check.codes:
             _claim(
                 table, code, f"deploy check '{check.name}'", check.about
+            )
+
+    from repro.analysis.proto import all_checks as all_proto_checks
+
+    for proto_check in all_proto_checks():
+        for code in proto_check.codes:
+            _claim(
+                table,
+                code,
+                f"proto check '{proto_check.name}'",
+                proto_check.about,
             )
     return table
 

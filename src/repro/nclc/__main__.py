@@ -24,6 +24,11 @@ one fabric -- before simulating it (see :mod:`repro.nclc.deploy`)::
 
     python -m repro.nclc check-deploy fabric.deploy [--json] [--werror]
 
+Or verify transport safety -- kernel effect summaries plus the NCP
+window model checker (see :mod:`repro.nclc.proto`)::
+
+    python -m repro.nclc check-proto program.ncl [--json] [--werror]
+
 Outputs, per switch label: ``<label>.p4`` (generated source) and
 ``<label>.report.json`` (the backend's acceptance report). A rejection
 prints the backend's feedback and exits non-zero -- the trial-and-error
@@ -68,6 +73,10 @@ def main(argv=None) -> int:
         from repro.nclc.deploy import main as deploy_main
 
         return deploy_main(argv[1:])
+    if argv and argv[0] == "check-proto":
+        from repro.nclc.proto import main as proto_main
+
+        return proto_main(argv[1:])
     if argv and argv[0] == "build":
         argv = argv[1:]
     args = cli.build_parser().parse_args(argv)
@@ -165,6 +174,10 @@ def run_build(args) -> int:
 
     if args.emit == "absint":
         sys.stdout.write(program.render_absint())
+        return 0
+
+    if args.emit == "effects":
+        sys.stdout.write(program.render_effects())
         return 0
 
     if args.dump_ir:

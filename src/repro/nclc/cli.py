@@ -83,11 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--emit",
-        choices=("ast", "nir", "absint", "p4", "artifact"),
+        choices=("ast", "nir", "absint", "effects", "p4", "artifact"),
         default="p4",
         help="what to produce: 'ast' prints the parse tree, 'nir' the "
         "optimized per-switch NIR, 'absint' the abstract-interpretation "
-        "facts (value ranges + known bits) per switch kernel, 'p4' writes "
+        "facts (value ranges + known bits) per switch kernel, 'effects' "
+        "the replay-safety effect summaries per switch kernel, 'p4' writes "
         "per-switch .p4 + reports (default), 'artifact' writes one "
         "repro.nclc/1 JSON artifact loadable with CompiledProgram.load",
     )

@@ -75,6 +75,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
         list_rules()
+        print()
+        print("transport-safety checks (nclc check-proto):")
+        from repro.nclc.proto import list_rules as list_proto_rules
+
+        list_proto_rules()
         return 0
     if not args.manifest:
         print("error: no deployment manifest given", file=sys.stderr)

@@ -153,6 +153,35 @@ class CompiledProgram:
             )
         return "\n".join(parts)
 
+    def effect_summaries(self):
+        """Per-switch kernel effect summaries (replay-safety lattice:
+        idempotent / commutative-monoid / unsafe-on-replay, plus dedup
+        guards): label -> {fn name -> KernelEffects}. Computed from
+        ``switch_modules`` like :meth:`absint_facts`, so it works on
+        cache hits and loaded artifacts alike."""
+        from repro.analysis.effects import analyze_module_effects
+
+        label_ids = self.label_ids
+        return {
+            label: analyze_module_effects(
+                self.switch_modules[label], label_ids=label_ids
+            )
+            for label in sorted(self.switch_modules)
+        }
+
+    def render_effects(self) -> str:
+        """Byte-deterministic dump of :meth:`effect_summaries` (the
+        output of ``nclc build --emit effects``, golden-tested)."""
+        from repro.analysis.effects import render_module_effects
+
+        parts = []
+        for label, summaries in self.effect_summaries().items():
+            parts.append(
+                f"; ===== switch {label} (effect summaries, -O{self.opt_level}) =====\n"
+                + render_module_effects(summaries)
+            )
+        return "\n".join(parts)
+
     # -- the repro.nclc/1 artifact ------------------------------------------
 
     def to_json(self) -> str:

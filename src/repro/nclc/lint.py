@@ -74,6 +74,11 @@ def main(argv=None) -> int:
         from repro.nclc.deploy import list_rules as list_deploy_rules
 
         list_deploy_rules()
+        print()
+        print("transport-safety checks (nclc check-proto):")
+        from repro.nclc.proto import list_rules as list_proto_rules
+
+        list_proto_rules()
         return 0
     if not args.sources:
         print("error: no source files given", file=sys.stderr)

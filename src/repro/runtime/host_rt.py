@@ -109,6 +109,17 @@ class NclHost:
             ("host", "kernel", "event"),
         ).labels(host=self.node.name, kernel=kernel, event=event).inc()
 
+    def _retx_gauge(self, obs) -> None:
+        """Live size of the retransmission-attempt table. Entries are
+        evicted when a window of the same (kernel, seq) is delivered
+        back, so a steadily climbing gauge means responses are not
+        coming home (or the transport never completes its windows)."""
+        obs.registry.gauge(
+            "ncp.retx_tracked",
+            "in-flight (kernel, seq) retransmission attempt entries",
+            ("host",),
+        ).labels(host=self.node.name).set(len(self._retx_attempts))
+
     @property
     def _node_labels(self) -> Dict[int, str]:
         """AND node id -> label, for annotating INT hop records."""
@@ -244,6 +255,7 @@ class NclHost:
         obs = self._obs
         if obs.enabled:
             self._window_count(obs, "retransmit", kernel)
+            self._retx_gauge(obs)
         self._send_window(kernel, window, dst, attempt=attempt)
         self.windows_retransmitted += 1
         return attempt
@@ -378,6 +390,13 @@ class NclHost:
             return
         self.windows_received += 1
         kernel_name = self.program.kernel_by_id[frame.kernel_id]
+        # A window of this (kernel, seq) made it back: the exchange is
+        # complete, so drop its retransmission-attempt entry. Without
+        # this the table grows one entry per retransmitted window for
+        # the lifetime of the host.
+        if self._retx_attempts.pop((kernel_name, frame.seq), None) is not None:
+            if obs.enabled:
+                self._retx_gauge(obs)
         if obs.enabled:
             self._window_count(obs, "recv", kernel_name)
             obs.tracer.instant(

@@ -171,10 +171,11 @@ class TestChecks:
         ctx = ctx_for(f"{DATA}/id_collision.deploy", DATA)
         assert codes_of(ctx) == ["NCL0920", "NCL0921", "NCL0922"]
         conflicts = [d for d in ctx.sink.sorted() if d.code == "NCL0922"]
-        # accum and count, each with interprocedural write attribution
+        # accum, count and the seen dedup marks, each with
+        # interprocedural write attribution
         assert sorted(
             d.message.split("'")[3] for d in conflicts
-        ) == ["accum", "count"]
+        ) == ["accum", "count", "seen"]
         assert all(d.secondary for d in conflicts)
 
     def test_unreachable_placement(self):

@@ -346,6 +346,109 @@ class TestFragmentInt:
         assert inbox[0].chunks == [list(range(16))]
 
 
+class TestFragmentRetransmit:
+    """Retransmission under fragmentation: the attempt number stamped in
+    the INT tail must be the same on *every* fragment of an attempt --
+    the host fragments first and arms each piece (see
+    ``NclHost._send_window``), so a mixed-attempt window would mean the
+    tail was attached before fragmentation."""
+
+    def _run_two_attempts(self):
+        # 16 x 32-bit elements = 64 B payload; mtu 80 forces fragments.
+        cluster, obs = probe_cluster(mask=(16,), mtu=80)
+        h0 = cluster.host("h0")
+        h0.out("probe", [list(range(16))], dst="h1")
+        cluster.run()
+        window = Window(0, [list(range(16))], ext={}, last=True,
+                        from_node=h0.node_id)
+        assert h0.retransmit_window("probe", window, "h1") == 1
+        cluster.run()
+        return cluster, obs, h0
+
+    def test_every_fragment_of_an_attempt_carries_its_attempt(self):
+        cluster, obs, _h0 = self._run_two_attempts()
+        delivered = [e for e in obs.tracer.events if e.name == "int:stack"
+                     and e.args["outcome"] == "delivered"]
+        by_attempt = {}
+        for event in delivered:
+            by_attempt.setdefault(
+                event.args["attempt"], []
+            ).append(event.args["frag"])
+        assert sorted(by_attempt) == [0, 1]
+        for frags in by_attempt.values():
+            # genuinely fragmented, and a full fragment train per attempt
+            assert len(frags) >= 2
+            assert sorted(frags) == list(range(len(frags)))
+        # both attempts fragment the same window the same way
+        first, second = by_attempt[0], by_attempt[1]
+        assert len(first) == len(second)
+        # both attempts reassemble into a delivered window
+        recv = [e for e in obs.tracer.events if e.name == "window:recv"]
+        assert len(recv) == 2
+
+    def test_lineage_one_branch_per_attempt_under_fragmentation(self):
+        cluster, obs, h0 = self._run_two_attempts()
+        index = LineageIndex.from_events(obs.tracer.events)
+        lineage = index.window("probe", 0)
+        branch = lineage.branches[h0.node_id]
+        assert sorted(branch.attempts) == [0, 1]
+        for number in (0, 1):
+            attempt = branch.attempts[number]
+            assert attempt.kind == ("send" if number == 0 else "retransmit")
+            assert attempt.outcome == "delivered"
+            # one per-hop stack per fragment, all on this attempt
+            assert len(attempt.stacks) >= 2
+
+
+class TestRetxTable:
+    """The retransmission-attempt table must not grow without bound: a
+    delivered window of the same (kernel, seq) evicts its entry, and the
+    ``ncp.retx_tracked`` gauge exposes the live size."""
+
+    def test_delivery_evicts_attempt_entry(self):
+        cluster, obs = probe_cluster()
+        h0 = cluster.host("h0")
+        h1 = cluster.host("h1")
+        h0.out("probe", [[7]], dst="h1")
+        cluster.run()
+        window = Window(0, [[7]], ext={}, last=True, from_node=h0.node_id)
+        assert h0.retransmit_window("probe", window, "h1") == 1
+        cluster.run()
+        assert dict(h0._retx_attempts) == {("probe", 0): 1}
+        # a probe window of the same seq arriving back at h0 completes
+        # the exchange and evicts the entry
+        h1.out_window("probe", 0, [[9]], "h0")
+        cluster.run()
+        assert dict(h0._retx_attempts) == {}
+        # attempt numbering restarts for the next exchange of this seq
+        assert h0.retransmit_window("probe", window, "h1") == 1
+
+    def test_gauge_tracks_live_entries(self):
+        cluster, obs = probe_cluster()
+        h0 = cluster.host("h0")
+        h1 = cluster.host("h1")
+        h0.out("probe", [[1]], dst="h1")
+        cluster.run()
+        for seq in (0, 1, 2):
+            window = Window(seq, [[1]], ext={}, last=True,
+                            from_node=h0.node_id)
+            h0.retransmit_window("probe", window, "h1")
+        cluster.run()
+
+        def gauge_value():
+            snap = obs.snapshot()
+            return {
+                s["labels"]["host"]: s["value"]
+                for s in snap["ncp.retx_tracked"]["series"]
+            }["h0"]
+
+        assert gauge_value() == 3
+        h1.out_window("probe", 1, [[4]], "h0")
+        cluster.run()
+        assert gauge_value() == 2
+        assert sorted(h0._retx_attempts) == [("probe", 0), ("probe", 2)]
+
+
 # ---------------------------------------------------------------------------
 # the query CLI over saved artifacts
 # ---------------------------------------------------------------------------
